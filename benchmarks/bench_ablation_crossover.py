@@ -1,0 +1,25 @@
+"""Benchmark: ablation A7 — the measured policy crossover."""
+
+from repro.experiments.ablation_crossover import run
+
+from conftest import run_once
+
+
+def test_ablation_crossover(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=max(bench_scale, 0.5))
+    emit(result)
+    table = result.tables[0]
+    rows = table.rows
+    by_sigma = {row[0]: row for row in rows}
+    # The Figure 2 regime: near-ordered workloads keep pi_c.
+    assert by_sigma[0.5][5] == "pi_c"
+    # The Figure 7 regime: heavy disorder flips to pi_s.
+    assert by_sigma[2.0][5] == "pi_s"
+    # The crossover is monotone: once pi_s wins it keeps winning.
+    winners = [row[5] for row in rows]
+    first_pi_s = winners.index("pi_s")
+    assert all(w == "pi_s" for w in winners[first_pi_s:])
+    # Predictions match measurements away from the tie boundary
+    # (allow one disagreement at the crossover itself).
+    disagreements = sum(1 for row in rows if row[5] != row[6])
+    assert disagreements <= 1

@@ -1,0 +1,18 @@
+"""Benchmark: ablation A4 — drift-detector sensitivity."""
+
+from repro.experiments.ablation_drift import run
+
+from conftest import run_once
+
+
+def test_ablation_drift(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    table = result.tables[0]
+    insensitive, default, sensitive = table.rows
+    # A detector that cannot fire retunes at most once (the initial fit).
+    assert insensitive[2] <= 1
+    # Higher sensitivity means at least as many retunes.
+    assert sensitive[2] >= default[2]
+    # The default setting must not lose to the insensitive one.
+    assert default[1] <= insensitive[1] + 0.05

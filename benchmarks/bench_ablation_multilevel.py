@@ -1,0 +1,17 @@
+"""Benchmark: ablation A3 — structural vs workload-aware WA."""
+
+from repro.experiments.ablation_multilevel import run
+
+from conftest import run_once
+
+
+def test_ablation_multilevel(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    table = result.tables[0]
+    mild, severe = table.rows
+    # pi_c reacts strongly to disorder; the T-leveled engine much less —
+    # which is why the O(T*L/B) bound cannot rank the policies.
+    swing_pi_c = severe[1] / mild[1]
+    swing_multi = severe[3] / mild[3]
+    assert swing_pi_c > 2.0 * swing_multi

@@ -1,0 +1,27 @@
+"""Benchmark: ablation A6 — analytical read estimates vs measurements."""
+
+import math
+
+from repro.experiments.ablation_read_model import run
+
+from conftest import run_once
+
+
+def test_ablation_read_model(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=max(bench_scale, 0.5))
+    emit(result)
+    rows = result.tables[0].rows
+    for row in rows:
+        name, window, policy, files_est, files_meas, ra_est, ra_meas = row
+        # Files-touched estimates land within one file or a 3x factor.
+        assert abs(files_est - files_meas) <= max(1.0, 2.0 * files_meas), row
+        # RA estimates within 3x wherever both are defined and non-zero.
+        if not math.isnan(ra_meas) and ra_meas > 0 and ra_est > 0:
+            assert 1 / 3 <= ra_est / ra_meas <= 3.0, row
+    # The estimates rank the policies correctly at the narrow window:
+    # pi_s reads fewer points than pi_c.
+    narrow = {
+        (r[0], r[2]): r[5] for r in rows if r[1] == 1000.0
+    }
+    for name in ("M7", "M12"):
+        assert narrow[(name, "pi_s")] < narrow[(name, "pi_c")]

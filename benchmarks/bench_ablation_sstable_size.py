@@ -1,0 +1,22 @@
+"""Benchmark: ablation A1 — SSTable granularity vs model error."""
+
+import numpy as np
+
+from repro.experiments.ablation_sstable_size import run
+
+from conftest import run_once
+
+
+def test_ablation_sstable(benchmark, bench_scale, emit):
+    # Steady-state WA needs a reasonably long run; floor the scale.
+    result = run_once(benchmark, run, scale=max(bench_scale, 1.0))
+    emit(result)
+    table = result.table("Measured WA vs SSTable size")
+    sizes = [int(s) for s in table.column("sstable size")]
+    errors = np.asarray(table.column("error"), dtype=float)
+    # Coarser slabs mean more padding: measured WA grows with the size,
+    # so the (measured - model) error grows too.
+    assert errors[-1] > errors[0]
+    paper_error = float(errors[sizes.index(512)])
+    # The paper's stated ~1 bound at its 512-point SSTables.
+    assert abs(paper_error) < 1.5

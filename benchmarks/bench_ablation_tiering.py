@@ -1,0 +1,19 @@
+"""Benchmark: ablation A5 — leveling vs tiering vs separation."""
+
+from repro.experiments.ablation_tiering import run
+
+from conftest import run_once
+
+
+def test_ablation_tiering(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=max(bench_scale, 0.5))
+    emit(result)
+    rows = result.tables[0].rows
+    wa = {row[0].split("(")[0].strip(): float(row[1]) for row in rows}
+    files = {row[0].split("(")[0].strip(): float(row[2]) for row in rows}
+    # Tiering cuts WA relative to pi_c leveling...
+    assert wa["tiered"] < wa["pi_c"]
+    # ...but the tuned pi_s does at least as well on this workload...
+    assert wa["pi_s"] <= wa["tiered"] * 1.1
+    # ...while tiering pays the highest read cost of the three.
+    assert files["tiered"] >= max(files["pi_c"], files["pi_s"]) - 1e-9

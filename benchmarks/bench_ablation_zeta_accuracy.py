@@ -1,0 +1,17 @@
+"""Benchmark: ablation A2 — zeta(n) numerics."""
+
+from repro.experiments.ablation_zeta_accuracy import run
+
+from conftest import run_once
+
+
+def test_ablation_zeta(benchmark, emit):
+    result = run_once(benchmark, run)
+    emit(result)
+    table = result.tables[0]
+    drifts = table.column("drift vs reference %")
+    times = table.column("eval time (ms)")
+    # Default settings stay within 1% of the tight reference...
+    assert float(drifts[1]) < 1.0
+    # ...at a fraction of its cost.
+    assert float(times[1]) < float(times[0])

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 (subsequent points vs buffer size)."""
+
+import numpy as np
+
+from repro.experiments.fig05_subsequent import run
+
+from conftest import run_once
+
+
+def test_fig05(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    for table in result.tables:
+        measured = np.asarray(table.column("experiment"), dtype=float)
+        modelled = np.asarray(table.column("zeta(n)"), dtype=float)
+        # Both grow with the buffer size...
+        assert measured[-1] > measured[0]
+        assert np.all(np.diff(modelled) > 0)
+        # ...and the model tracks the experiment (paper: slight
+        # under-estimate from the i.i.d./constant-gap assumptions).
+        assert np.all(np.abs(measured - modelled) <= 0.35 * measured + 5.0)
+    # The larger sigma curve dominates the smaller one.
+    low = np.asarray(result.tables[0].column("experiment"), dtype=float)
+    high = np.asarray(result.tables[1].column("experiment"), dtype=float)
+    assert np.all(high >= low)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 7 (WA vs n_seq curve)."""
+
+import numpy as np
+
+from repro.experiments.fig07_wa_curve import run
+
+from conftest import run_once
+
+
+def test_fig07(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    sweep = result.table("WA under pi_s")
+    measured = np.asarray(sweep.column("experiment"), dtype=float)
+    modelled = np.asarray(sweep.column("r_s model"), dtype=float)
+    reference = result.table("pi_c reference")
+    measured_rc = float(reference.rows[0][0])
+    modelled_rc = float(reference.rows[0][1])
+    # U-shape: the interior minimum beats both endpoints.
+    assert measured.min() < measured[0]
+    assert measured.min() < measured[-1]
+    assert modelled.min() < modelled[0]
+    assert modelled.min() < modelled[-1]
+    # For this heavy-disorder workload pi_s wins (paper's Figure 7).
+    assert measured.min() < measured_rc
+    assert modelled.min() < modelled_rc
+    # Model tracks the measurement within ~1 WA unit (paper's bound).
+    assert np.all(np.abs(measured - modelled) < 1.5)

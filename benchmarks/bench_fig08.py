@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8 (S-9 delay characterisation)."""
+
+from repro.experiments.fig08_s9_delays import PAPER_OUT_OF_ORDER_PERCENT, run
+
+from conftest import run_once
+
+
+def test_fig08(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=max(bench_scale, 0.5))
+    emit(result)
+    disorder = result.table("Disorder")
+    out_of_order = float(disorder.rows[0][0])
+    # Calibrated to the published 7.05% out-of-order rate.
+    assert abs(out_of_order - PAPER_OUT_OF_ORDER_PERCENT) < 2.0
+    summary = result.table("Delay summary")
+    skew = float(summary.rows[0][-1])
+    # Skewed delays: mean far above the median (heavy tail).
+    assert skew > 2.0

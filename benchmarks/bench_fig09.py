@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 9 (WA grid over M1-M12)."""
+
+from repro.experiments.fig09_wa_grid import run
+
+from conftest import run_once
+
+
+def test_fig09(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    summary = result.table("Per-dataset summary")
+    winners_measured = summary.column("measured winner")
+    winners_model = summary.column("model winner")
+    agreement = sum(
+        1 for a, b in zip(winners_measured, winners_model) if a == b
+    )
+    # The models pick the measured winner on (at least) most datasets.
+    assert agreement >= len(winners_measured) - 2
+
+    by_name = {row[0]: row for row in summary.rows}
+    # dt=10 datasets are more disordered than their dt=50 counterparts.
+    assert by_name["M7"][4] > by_name["M1"][4]
+    assert by_name["M12"][4] > by_name["M6"][4]
+    # sigma raises WA within a block (paper: M1 -> M3).
+    assert by_name["M3"][4] > by_name["M1"][4]
+    # mu raises WA (paper: M1 vs M4).
+    assert by_name["M4"][4] > by_name["M1"][4]

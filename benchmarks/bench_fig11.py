@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 11 (WA on S-9, estimate vs truth)."""
+
+from repro.experiments.fig11_s9_wa import run
+
+from conftest import run_once
+
+
+def test_fig11(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=max(bench_scale, 0.5))
+    emit(result)
+    table = result.table("WA on S-9")
+    (label_c, est_c, real_c), (label_s, est_s, real_s) = table.rows
+    # Paper's Figure 11: pi_s lower than pi_c in both estimate and truth.
+    assert est_s < est_c
+    assert real_s < real_c
+    # Estimates land within the paper's ~1 WA-unit error band.
+    assert abs(est_c - real_c) < 1.0
+    assert abs(est_s - real_s) < 1.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 12 (read amplification, recent queries)."""
+
+import numpy as np
+
+from repro.experiments.fig12_read_amplification import run
+
+from conftest import run_once
+
+
+def test_fig12(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    grid = result.table("Mean read amplification per dataset/window")
+    ra_c = np.asarray(grid.column("pi_c"), dtype=float)
+    ra_s = np.asarray(grid.column("pi_s"), dtype=float)
+    ok = ~(np.isnan(ra_c) | np.isnan(ra_s))
+    # Paper finding 1: pi_s reads fewer useless points than pi_c.
+    assert np.mean(ra_s[ok] <= ra_c[ok]) >= 0.8
+    # Paper finding 2: longer windows -> lower read amplification.
+    trend = result.table("Read amplification vs window")
+    means = np.asarray(trend.column("mean RA"), dtype=float)
+    assert means[0] > means[-1]

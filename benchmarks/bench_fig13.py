@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 13 (recent-query latency)."""
+
+import numpy as np
+
+from repro.experiments.fig13_recent_latency import run
+
+from conftest import run_once
+
+
+def test_fig13(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    grid = result.table("Mean modelled latency")
+    rows = grid.rows
+    # The seek trade-off the paper describes must be visible where the
+    # window spans many small SSTables: on the dt=10 datasets at the
+    # 5000 ms window (500 points) pi_s touches more files than pi_c.
+    dt10 = [r for r in rows if r[0] in ("M7", "M8", "M9", "M10", "M11", "M12")
+            and r[1] == 5000.0]
+    assert dt10, "expected dt=10 rows at the 5000 ms window"
+    more_files = sum(1 for r in dt10 if r[5] >= r[4])
+    assert more_files >= len(dt10) - 1
+    slower = sum(1 for r in dt10 if r[3] >= r[2])
+    assert slower >= len(dt10) // 2
+    # Latency does not shrink as the window grows (per dataset/policy).
+    for name in {r[0] for r in rows}:
+        series = [r[2] for r in rows if r[0] == name]
+        assert series[-1] >= series[0] - 1e-9

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 14 (historical-query latency) + Fig. 15."""
+
+import numpy as np
+
+from repro.experiments.fig14_historical_latency import run
+
+from conftest import run_once
+
+
+def test_fig14(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    grid = result.table("Mean modelled latency")
+    lat_c = np.asarray(grid.column("pi_c"), dtype=float)
+    lat_s = np.asarray(grid.column("pi_s"), dtype=float)
+    names = grid.column("dataset")
+    # Paper: pi_s does relatively better here than on recent queries —
+    # on high-disorder datasets it beats pi_c (M6/M11/M12 in the paper).
+    high_disorder = [
+        s < c for name, c, s in zip(names, lat_c, lat_s)
+        if name in ("M6", "M11", "M12")
+    ]
+    assert high_disorder and np.mean(high_disorder) >= 0.5
+    # Figure 15's overlap picture was rendered.
+    assert any("SSTables overlap the" in chart for chart in result.charts)

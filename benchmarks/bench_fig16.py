@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 16 (dataset H robustness)."""
+
+from repro.experiments.fig16_dataset_h import run
+
+from conftest import run_once
+
+
+def test_fig16(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    acf = result.table("(a) Delay autocorrelation")
+    significant = [row for row in acf.rows if row[3]]
+    # Paper: H's delays are strongly autocorrelated (not independent).
+    assert len(significant) >= 10
+    wa = result.table("(b) WA estimate vs truth")
+    (label_c, est_c, real_c), (label_s, est_s, real_s) = wa.rows
+    # Paper: pi_c wins on H despite the violated independence assumption.
+    assert est_c <= est_s
+    assert real_c <= real_s

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 17 (mixed-family delay drift)."""
+
+from repro.experiments.fig17_dynamic_robustness import run
+
+from conftest import run_once
+
+
+def test_fig17(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    wa = result.table("(b) WA per strategy")
+    values = {row[0]: float(row[1]) for row in wa.rows}
+    # The dynamically tuned policy beats always-pi_c and is at worst
+    # marginally behind the better static choice.
+    assert values["pi_adaptive"] < values["pi_c"]
+    best_static = min(values["pi_c"], values["pi_s(n/2)"])
+    assert values["pi_adaptive"] <= best_static * 1.1
+    switches = result.table("pi_adaptive switches")
+    assert switches.rows[0][0] != "-"

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 19 (dataset H delay profile)."""
+
+from repro.experiments.fig19_h_delays import run
+
+from conftest import run_once
+
+
+def test_fig19(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    summary = result.table("Delay summary")
+    below_period = float(summary.rows[0][-1])
+    # "most of the delays are indeed less than about 5x10^4 ms".
+    assert below_period > 85.0
+    disorder = result.table("Disorder")
+    ooo_percent = float(disorder.rows[0][0])
+    mean_ooo_s = float(disorder.rows[0][2])
+    # Very low out-of-order rate with small out-of-order delays.
+    assert ooo_percent < 0.3
+    assert 1.0 < mean_ooo_s < 6.0

@@ -1,0 +1,21 @@
+"""Benchmark: fleet case study — per-series tuning at deployment scale."""
+
+from repro.experiments.fleet_casestudy import run
+
+from conftest import run_once
+
+
+def test_fleet(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=max(bench_scale, 0.5))
+    emit(result)
+    outcome = result.table("Fleet-wide outcome")
+    static_row, tuned_row, allocated_row = outcome.rows
+    # Per-series tuning must not lose to the static default...
+    assert tuned_row[1] <= static_row[1] + 1e-9
+    # ...and should separate at least one disordered series.
+    assert tuned_row[2] >= 1
+    # The disordered cohort matches Section VI's "more than one-third".
+    assert tuned_row[3] >= 0.25 * (tuned_row[3] + 1)
+    # Re-allocating the same total memory by marginal gain does at least
+    # as well as the uniform split.
+    assert allocated_row[1] <= tuned_row[1] * 1.02

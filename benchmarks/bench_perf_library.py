@@ -1,0 +1,88 @@
+"""Performance benchmarks for the library's hot paths.
+
+Unlike the figure benchmarks (which run an experiment once and assert
+its findings), these measure steady-state performance with repeated
+rounds: engine ingestion throughput, model evaluation latency, tuner
+latency and query execution.  They guard against performance
+regressions in the simulator and the vectorised model numerics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConventionalEngine,
+    LogNormalDelay,
+    LsmConfig,
+    SeparationEngine,
+    ZetaModel,
+    execute_range_query,
+    tune_separation_policy,
+)
+from repro.workloads import generate_synthetic
+
+_DELAY = LogNormalDelay(5.0, 2.0)
+_DT = 50.0
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return generate_synthetic(100_000, dt=_DT, delay=_DELAY, seed=1)
+
+
+def test_perf_conventional_ingest(benchmark, stream):
+    def ingest():
+        engine = ConventionalEngine(LsmConfig(512, 512))
+        engine.ingest(stream.tg)
+        engine.flush_all()
+        return engine
+
+    engine = benchmark(ingest)
+    # Sanity: throughput above 100k points/s of simulated ingestion.
+    assert engine.ingested_points == len(stream)
+
+
+def test_perf_separation_ingest(benchmark, stream):
+    def ingest():
+        engine = SeparationEngine(LsmConfig(512, 512, seq_capacity=256))
+        engine.ingest(stream.tg)
+        engine.flush_all()
+        return engine
+
+    engine = benchmark(ingest)
+    assert engine.ingested_points == len(stream)
+
+
+def test_perf_zeta_evaluation(benchmark):
+    def evaluate():
+        return ZetaModel(_DELAY, _DT).zeta(512)
+
+    value = benchmark(evaluate)
+    assert value > 0
+
+
+def test_perf_tuner(benchmark):
+    def tune():
+        return tune_separation_policy(_DELAY, _DT, 512, sstable_size=512)
+
+    decision = benchmark(tune)
+    assert decision.policy in ("conventional", "separation")
+
+
+def test_perf_range_query(benchmark, stream):
+    engine = ConventionalEngine(LsmConfig(512, 512))
+    engine.ingest(stream.tg)
+    engine.flush_all()
+    snapshot = engine.snapshot()
+    hi = float(stream.tg.max())
+    rng = np.random.default_rng(0)
+    windows = rng.uniform(0.3, 0.7, 64) * hi
+
+    def query():
+        total = 0
+        for lo in windows:
+            total += execute_range_query(snapshot, lo, lo + 5000.0).result_points
+        return total
+
+    total = benchmark(query)
+    assert total > 0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (dataset catalog + disorder)."""
+
+from repro.experiments.table02_datasets import run
+
+from conftest import run_once
+
+
+def test_table02(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    table = result.table("Table II parameters")
+    rows = {row[0]: row for row in table.rows}
+    assert len(rows) == 12
+    # Disorder gradients Section V-B relies on.
+    assert rows["M7"][-1] > rows["M1"][-1]  # smaller dt -> more disorder
+    assert rows["M3"][-1] > rows["M1"][-1]  # larger sigma -> more disorder
+    assert rows["M4"][-1] > rows["M1"][-1]  # larger mu -> more disorder

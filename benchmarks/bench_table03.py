@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table III (write throughput pi_c vs pi_s)."""
+
+import numpy as np
+
+from repro.experiments.table03_throughput import run
+
+from conftest import run_once
+
+
+def test_table03(benchmark, bench_scale, emit):
+    result = run_once(benchmark, run, scale=bench_scale)
+    emit(result)
+    table = result.table("Write throughput")
+    pi_c = np.asarray(table.column("pi_c"), dtype=float)
+    pi_s = np.asarray(table.column("pi_s(n/2)"), dtype=float)
+    # Paper: no significant throughput impact (compaction is background).
+    assert np.all(np.abs(pi_s / pi_c - 1.0) < 0.10)
+    # Same order of magnitude as the paper's ~85-93 points/ms.
+    assert np.all((pi_c > 40) & (pi_c < 200))

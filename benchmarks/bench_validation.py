@@ -1,0 +1,22 @@
+"""Benchmark: aggregate model accuracy over the Table II grid."""
+
+from repro.experiments.validation import run
+
+from conftest import run_once
+
+
+def test_validation(benchmark, bench_scale, emit):
+    # Accuracy statistics need past-warm-up runs; floor the scale.
+    result = run_once(benchmark, run, scale=max(bench_scale, 1.0))
+    emit(result)
+    summary = result.table("Model error summaries")
+    by_model = {row[0]: row for row in summary.rows}
+    mae_consistent = by_model["r_s (consistent variant)"][1]
+    mae_eq5 = by_model["r_s (printed Eq. 5)"][1]
+    # The calibration result the library's default rests on.
+    assert mae_consistent < mae_eq5
+    assert mae_consistent < 1.0
+    # The corrected r_c carries the documented one-sided bias, bounded
+    # by roughly the paper's error band at steady state.
+    bias_rc = by_model["r_c (granularity-corrected)"][2]
+    assert abs(bias_rc) < 1.2

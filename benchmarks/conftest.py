@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper figure/table via its experiment
+module, prints the reproduced rows (bypassing capture so they land in
+redirected output), and saves a copy under ``benchmarks/results/``.
+
+``REPRO_BENCH_SCALE`` scales the dataset sizes (default 0.25; the paper
+itself used ~10M-point datasets = scale ~100).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture()
+def emit(capfd):
+    """Print an ExperimentResult through captured stdout and save it."""
+
+    def _emit(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _emit
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

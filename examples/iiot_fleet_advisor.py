@@ -1,0 +1,77 @@
+"""IIoT fleet advisor: the paper's Section VI use case, end to end.
+
+An industrial partner streams vehicle telemetry through a flaky network:
+points normally arrive within a second, but during outages the device
+buffers locally and re-sends in batches every ~50 s.  Should the
+per-vendor IoTDB instance separate out-of-order data?
+
+This example plays the database's role: it *streams* the workload
+through a :class:`repro.DelayAnalyzer` exactly like the deployed
+analyzer module would (bounded memory, no access to the full history),
+profiles the delays, runs Algorithm 1, and sanity-checks the verdict on
+the write-amplification simulator.
+
+Run with:  python examples/iiot_fleet_advisor.py
+"""
+
+import numpy as np
+
+import repro
+from repro.stats import autocorrelation
+
+MEMORY_BUDGET = 512
+SSTABLE_SIZE = 512
+
+# -- 1. The telemetry stream (simulated stand-in for dataset H) ---------------
+stream = repro.generate_vehicle_h(n_points=150_000, seed=6)
+print(stream.describe())
+
+acf = autocorrelation(stream.delays, max_lag=5)
+print(
+    f"delay autocorrelation at lag 1: {acf.acf[1]:.2f} "
+    f"(band +/-{acf.band:.3f}) -> delays are "
+    f"{'NOT ' if not acf.is_independent() else ''}independent"
+)
+
+# -- 2. Stream it through the analyzer, chunk by chunk ------------------------
+analyzer = repro.DelayAnalyzer(
+    memory_budget=MEMORY_BUDGET, window=8192, sstable_size=SSTABLE_SIZE
+)
+for chunk in stream.chunks(10_000):
+    analyzer.observe(chunk.tg, chunk.ta)
+
+profile = analyzer.profile()
+print("delay profile:", profile.describe())
+print("delay summary:", analyzer.delay_summary().format(unit="ms"))
+
+decision = analyzer.recommend()
+print("verdict:", decision.describe())
+
+# -- 3. Validate against the simulator ----------------------------------------
+results = {}
+for label, policy, n_seq in (
+    ("pi_c", "conventional", None),
+    ("pi_s(n*)", "separation", decision.seq_capacity or MEMORY_BUDGET // 2),
+):
+    config = repro.LsmConfig(
+        memory_budget=MEMORY_BUDGET,
+        sstable_size=SSTABLE_SIZE,
+        seq_capacity=n_seq,
+    )
+    engine = (
+        repro.ConventionalEngine(config)
+        if policy == "conventional"
+        else repro.SeparationEngine(config)
+    )
+    engine.ingest(stream.tg)
+    engine.flush_all()
+    results[label] = engine.write_amplification
+    print(f"measured WA {label}: {engine.write_amplification:.4f}")
+
+# On this nearly ordered workload (batches preserve generation order),
+# separation buys nothing — the analyzer should keep pi_c, matching the
+# paper's Figure 16(b).
+best = min(results, key=results.get)
+print(f"measured winner: {best}")
+assert decision.policy == "conventional"
+print("OK - the analyzer keeps pi_c for the vehicle fleet, as in the paper.")

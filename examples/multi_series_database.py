@@ -1,0 +1,64 @@
+"""Operating a multi-series database: per-series buffering decisions.
+
+One IoTDB instance stores thousands of series (Section VI); disorder is
+widespread but uneven across them.  This example runs a heterogeneous
+fleet through :class:`repro.TimeSeriesDatabase`: every series streams
+through its own analyzer, a retune pass decides — per series — whether
+to separate, and the fleet report shows where the write amplification
+went.
+
+Run with:  python examples/multi_series_database.py
+"""
+
+import repro
+from repro.workloads import generate_fleet
+
+N_SERIES = 16
+POINTS = 20_000
+
+fleet = generate_fleet(
+    n_series=N_SERIES,
+    points_per_series=POINTS,
+    disordered_fraction=0.4,
+    seed=11,
+)
+
+db = repro.TimeSeriesDatabase(
+    memory_budget_per_series=256, sstable_size=256, auto_tune=True
+)
+
+# Phase 1: stream the first third of every series (observation window).
+warmup = POINTS // 3
+for name, series in fleet.items():
+    head = series.head(warmup)
+    db.write(name, head.tg, head.ta)
+
+# Phase 2: one retune pass — each series decides from its own profile.
+switched = db.retune()
+print(f"retune switched {len(switched)}/{N_SERIES} series:")
+for name, policy in sorted(switched.items()):
+    print(f"  {name} -> {policy}")
+
+# Phase 3: stream the rest.
+for name, series in fleet.items():
+    db.write(name, series.tg[warmup:], series.ta[warmup:])
+db.flush_all()
+
+# The fleet dashboard.
+report = db.report()
+print(
+    f"\nfleet: {report.series_count} series, "
+    f"{report.total_points} points, WA={report.write_amplification:.3f}, "
+    f"{report.disordered_fraction:.0%} disordered "
+    "(paper: 'more than one-third')"
+)
+print(f"\n{'series':<14} {'policy':<18} {'WA':>7}")
+for name, policy, wa in report.rows:
+    print(f"{name:<14} {policy:<18} {wa:>7.3f}")
+
+separated = [row for row in report.rows if row[1].startswith("pi_s")]
+print(
+    f"\n{len(separated)} series separated; every one of them is in the "
+    "disordered cohort — the clean series keep the cheaper pi_c, which a "
+    "single instance-wide policy cannot do."
+)

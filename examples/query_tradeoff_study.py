@@ -1,0 +1,69 @@
+"""The read-side trade-off: separation helps RA, hurts recent-query seeks.
+
+Section V-D's finding in one script: run the IoTDB-style two-level
+engine (overlapping L1 flush files + background compaction) under both
+policies on a disordered workload, issue monitoring-style recent-data
+queries and analyst-style historical queries while writing, and compare
+read amplification, files touched and modelled latency.
+
+Run with:  python examples/query_tradeoff_study.py
+"""
+
+import repro
+from repro.query import run_query_workload
+
+MEMORY_BUDGET = 512
+WINDOWS_MS = (500.0, 1000.0, 5000.0)
+
+# A dt=10 workload: query windows span many points, so SSTable-size
+# effects (the paper's seek argument) are visible.
+delay = repro.LogNormalDelay(mu=5.0, sigma=2.0)
+dataset = repro.generate_synthetic(60_000, dt=10.0, delay=delay, seed=4)
+print(dataset.describe())
+
+decision = repro.tune_separation_policy(
+    delay, 10.0, MEMORY_BUDGET, sstable_size=MEMORY_BUDGET
+)
+n_seq = decision.seq_capacity or MEMORY_BUDGET // 2
+print(f"recommended pi_s capacity: n_seq={n_seq}\n")
+
+
+def engine_for(policy: str) -> repro.IoTDBStyleEngine:
+    if policy == "pi_c":
+        return repro.IoTDBStyleEngine(
+            repro.LsmConfig(memory_budget=MEMORY_BUDGET), policy="conventional"
+        )
+    return repro.IoTDBStyleEngine(
+        repro.LsmConfig(memory_budget=MEMORY_BUDGET, seq_capacity=n_seq),
+        policy="separation",
+    )
+
+
+header = (
+    f"{'mode':<12} {'window':>8} {'policy':>6} {'RA':>8} "
+    f"{'files':>6} {'latency_ms':>11}"
+)
+print(header)
+print("-" * len(header))
+for mode in ("recent", "historical"):
+    for window in WINDOWS_MS:
+        for policy in ("pi_c", "pi_s"):
+            engine = engine_for(policy)
+            outcome = run_query_workload(
+                engine, dataset, window=window, mode=mode, seed=7
+            )
+            print(
+                f"{mode:<12} {window:>8.0f} {policy:>6} "
+                f"{outcome.mean_read_amplification:>8.2f} "
+                f"{outcome.mean_files_touched:>6.2f} "
+                f"{outcome.mean_latency_ms:>11.3f}"
+            )
+
+print(
+    "\nTakeaways (matching the paper's Figures 12-14):\n"
+    "  * pi_s reads fewer useless points (lower RA) at every window;\n"
+    "  * at the widest recent window pi_s touches MORE, smaller files,\n"
+    "    so seek-dominated latency turns against it;\n"
+    "  * on historical windows pi_c's overlapping L1 files hurt it and\n"
+    "    the gap narrows or reverses."
+)

@@ -1,0 +1,207 @@
+"""repro — reproduction of *Separation or Not: On Handling Out-of-Order
+Time-Series Data in Leveled LSM-Tree* (ICDE 2022).
+
+The package answers the paper's decision problem: given a memory budget
+for buffering time-series points, a delay distribution and a generation
+interval, should an LSM-tree engine keep one MemTable (``pi_c``) or
+separate in-order/out-of-order MemTables (``pi_s``) — and with which
+``C_seq`` capacity — to minimise write amplification?
+
+Quickstart
+----------
+>>> import repro
+>>> delay = repro.LogNormalDelay(mu=5, sigma=2)
+>>> decision = repro.tune_separation_policy(delay, dt=50, memory_budget=512)
+>>> decision.policy            # doctest: +SKIP
+'separation'
+
+Layers
+------
+* :mod:`repro.core` — the WA models (Eqs. 1--5), Algorithm 1, the delay
+  analyzer (the paper's contribution);
+* :mod:`repro.lsm` — the leveled LSM simulator the experiments run on;
+* :mod:`repro.query` — range queries, read amplification, latency model;
+* :mod:`repro.workloads` — every evaluated dataset (Table II, dynamic,
+  simulated S-9 and H);
+* :mod:`repro.distributions` / :mod:`repro.stats` — probabilistic and
+  statistical substrate;
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from .config import (
+    DEFAULT_DISK_MODEL,
+    DEFAULT_MEMORY_BUDGET,
+    DEFAULT_MODEL_CONFIG,
+    DEFAULT_SSTABLE_SIZE,
+    DiskModel,
+    LsmConfig,
+    ModelConfig,
+)
+from .core import (
+    DelayAnalyzer,
+    SeriesAllocation,
+    SeriesWorkload,
+    allocate_budgets,
+    fleet_objective,
+    ReadEstimate,
+    estimate_recent_query,
+    DelayProfile,
+    InOrderCurve,
+    KsDriftDetector,
+    PolicyDecision,
+    SeparationWaBreakdown,
+    ZetaModel,
+    g_out_of_order,
+    predict_wa_conventional,
+    predict_wa_separation,
+    separation_breakdown,
+    tune_separation_policy,
+    zeta,
+)
+from .distributions import (
+    ConstantDelay,
+    DelayDistribution,
+    EmpiricalDelay,
+    ExponentialDelay,
+    GammaDelay,
+    HalfNormalDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    ParetoDelay,
+    ShiftedDelay,
+    UniformDelay,
+    WeibullDelay,
+    fit_best,
+)
+from .errors import (
+    ConfigError,
+    DistributionError,
+    EngineError,
+    ExperimentError,
+    FittingError,
+    ModelError,
+    QueryError,
+    ReproError,
+    WorkloadError,
+)
+from .lsm import (
+    AdaptiveEngine,
+    FleetReport,
+    TieredEngine,
+    TimeSeriesDatabase,
+    ConventionalEngine,
+    IoTDBStyleEngine,
+    LsmEngine,
+    MultiLevelEngine,
+    SeparationEngine,
+    Snapshot,
+    WriteStats,
+)
+from .query import (
+    AggregateResult,
+    QueryStats,
+    execute_aggregate_query,
+    QueryWorkloadResult,
+    execute_range_query,
+    query_latency_ms,
+    run_query_workload,
+)
+from .workloads import (
+    TABLE_II,
+    generate_fleet,
+    TimeSeriesDataset,
+    build_dataset,
+    dataset_names,
+    generate_dynamic,
+    generate_s9,
+    generate_synthetic,
+    generate_vehicle_h,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "LsmConfig",
+    "DiskModel",
+    "ModelConfig",
+    "DEFAULT_MEMORY_BUDGET",
+    "DEFAULT_SSTABLE_SIZE",
+    "DEFAULT_DISK_MODEL",
+    "DEFAULT_MODEL_CONFIG",
+    # core models
+    "ZetaModel",
+    "zeta",
+    "InOrderCurve",
+    "g_out_of_order",
+    "predict_wa_conventional",
+    "predict_wa_separation",
+    "separation_breakdown",
+    "SeparationWaBreakdown",
+    "tune_separation_policy",
+    "PolicyDecision",
+    "DelayAnalyzer",
+    "DelayProfile",
+    "KsDriftDetector",
+    "ReadEstimate",
+    "estimate_recent_query",
+    "SeriesWorkload",
+    "SeriesAllocation",
+    "allocate_budgets",
+    "fleet_objective",
+    # engines
+    "LsmEngine",
+    "ConventionalEngine",
+    "SeparationEngine",
+    "AdaptiveEngine",
+    "IoTDBStyleEngine",
+    "MultiLevelEngine",
+    "TieredEngine",
+    "TimeSeriesDatabase",
+    "FleetReport",
+    "Snapshot",
+    "WriteStats",
+    # queries
+    "QueryStats",
+    "execute_range_query",
+    "AggregateResult",
+    "execute_aggregate_query",
+    "query_latency_ms",
+    "run_query_workload",
+    "QueryWorkloadResult",
+    # workloads
+    "TimeSeriesDataset",
+    "generate_synthetic",
+    "generate_dynamic",
+    "generate_s9",
+    "generate_vehicle_h",
+    "generate_fleet",
+    "build_dataset",
+    "dataset_names",
+    "TABLE_II",
+    # distributions
+    "DelayDistribution",
+    "LogNormalDelay",
+    "ExponentialDelay",
+    "UniformDelay",
+    "HalfNormalDelay",
+    "GammaDelay",
+    "WeibullDelay",
+    "ParetoDelay",
+    "ConstantDelay",
+    "EmpiricalDelay",
+    "MixtureDelay",
+    "ShiftedDelay",
+    "fit_best",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "DistributionError",
+    "FittingError",
+    "EngineError",
+    "ModelError",
+    "WorkloadError",
+    "QueryError",
+    "ExperimentError",
+]

@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig07
+    python -m repro fig09 --scale 0.5 --seed 1
+    python -m repro all --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .errors import ReproError
+from .experiments import experiment_ids, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures/tables of 'Separation or Not' (ICDE 2022)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset-size multiplier (default 1.0; paper scale is ~100x)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the default RNG seed"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each result table as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    targets = (
+        experiment_ids() if args.experiment == "all" else [args.experiment]
+    )
+    for experiment_id in targets:
+        started = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(result.render())
+        if args.csv_dir is not None:
+            for path in result.save_csv(args.csv_dir):
+                print(f"[wrote {path}]")
+        print(f"\n[{experiment_id} completed in "
+              f"{time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Configuration objects shared across the library.
+
+The paper's experiments are parameterised by a small set of knobs: the
+memory budget ``n`` (number of points that fit in MemTables), the SSTable
+size, and — under the separation policy — the split of the budget between
+the in-order MemTable ``C_seq`` and the out-of-order MemTable ``C_nonseq``.
+This module centralises those knobs plus the simulated I/O cost model used
+by the throughput and query-latency experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Memory budget (points) used throughout the paper's synthetic experiments.
+DEFAULT_MEMORY_BUDGET = 512
+
+#: SSTable size (points) used in the paper ("the size of SSTables is 512
+#: points", Section IV).
+DEFAULT_SSTABLE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class LsmConfig:
+    """Static configuration of an LSM storage engine.
+
+    Parameters
+    ----------
+    memory_budget:
+        Maximum number of data points buffered in memory (``n`` in the
+        paper).  Under the conventional policy this is the capacity of
+        ``C0``; under separation it is split between ``C_seq`` and
+        ``C_nonseq``.
+    sstable_size:
+        Target number of points per SSTable written during compaction.
+    seq_capacity:
+        Capacity of ``C_seq`` (``n_seq``).  Only meaningful for the
+        separation policy.  ``None`` means "half of the budget", the
+        original Apache IoTDB default the paper calls ``pi_s(n/2)``.
+    """
+
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    sstable_size: int = DEFAULT_SSTABLE_SIZE
+    seq_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_budget < 2:
+            raise ConfigError(
+                f"memory_budget must be >= 2, got {self.memory_budget}"
+            )
+        if self.sstable_size < 1:
+            raise ConfigError(
+                f"sstable_size must be >= 1, got {self.sstable_size}"
+            )
+        if self.seq_capacity is not None:
+            if not 1 <= self.seq_capacity <= self.memory_budget - 1:
+                raise ConfigError(
+                    "seq_capacity must satisfy 1 <= seq_capacity <= "
+                    f"memory_budget - 1; got seq_capacity={self.seq_capacity} "
+                    f"with memory_budget={self.memory_budget}"
+                )
+
+    @property
+    def effective_seq_capacity(self) -> int:
+        """``n_seq`` actually used: the explicit value or the IoTDB 1:1 split."""
+        if self.seq_capacity is not None:
+            return self.seq_capacity
+        return self.memory_budget // 2
+
+    @property
+    def nonseq_capacity(self) -> int:
+        """``n_nonseq = n - n_seq`` for the separation policy."""
+        return self.memory_budget - self.effective_seq_capacity
+
+    def with_seq_capacity(self, seq_capacity: int) -> "LsmConfig":
+        """Return a copy with a different ``C_seq`` capacity."""
+        return replace(self, seq_capacity=seq_capacity)
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Simulated storage cost model.
+
+    The paper's latency/throughput experiments ran on an HDD, where the
+    dominant effects are per-file seeks and sequential per-point transfer.
+    We reproduce those effects with a linear cost model; absolute values
+    are calibrated so the synthetic workloads land in the same order of
+    magnitude as the paper's reported numbers, but only *relative*
+    comparisons between policies are meaningful.
+
+    All times are in milliseconds.
+    """
+
+    #: Cost of opening + seeking to one SSTable file.
+    seek_ms: float = 8.0
+    #: Cost of reading one data point sequentially.
+    read_point_ms: float = 0.0004
+    #: Cost of writing one data point sequentially.
+    write_point_ms: float = 0.0004
+    #: Fixed per-query overhead (parsing, planning, memtable scan setup).
+    query_overhead_ms: float = 0.05
+    #: Cost of inserting one point into a MemTable (CPU-bound).
+    insert_point_ms: float = 0.011
+
+    def __post_init__(self) -> None:
+        for name in (
+            "seek_ms",
+            "read_point_ms",
+            "write_point_ms",
+            "query_overhead_ms",
+            "insert_point_ms",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+
+    def read_cost_ms(self, files: int, points: int) -> float:
+        """Latency of reading ``points`` points spread over ``files`` files."""
+        return files * self.seek_ms + points * self.read_point_ms
+
+    def write_cost_ms(self, points: int) -> float:
+        """Latency of sequentially writing ``points`` points."""
+        return points * self.write_point_ms
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Numerical parameters of the analytical WA models.
+
+    These control the accuracy/runtime trade-off of evaluating Eq. 2's
+    infinite sum and improper integral.  The defaults are tight enough
+    that model error is dominated by the paper's own approximations
+    (point- vs SSTable-granularity), not by numerics.
+    """
+
+    #: Quadrature nodes for the expectation over the delay ``x`` (equal
+    #: probability mass per node, taken at quantile midpoints).
+    quadrature_nodes: int = 96
+    #: Probability mass implicitly ignored beyond the extreme quantile nodes.
+    tail_mass: float = 1e-6
+    #: The sum over ``i`` is truncated once the per-term upper bound
+    #: ``n * (1 - F(i*dt))`` drops below this tolerance.
+    term_tolerance: float = 1e-4
+    #: Terms ``i <= dense_terms`` are summed exactly; beyond that a
+    #: geometric grid + trapezoid integration approximates the tail.
+    dense_terms: int = 1024
+    #: Number of geometric grid points for the tail of the sum over ``i``.
+    tail_grid_points: int = 512
+    #: Resolution of the integrated-log-CDF table used by the tail.
+    h_grid_points: int = 8192
+    #: ``log F`` values are clipped below at this floor (the factor is
+    #: effectively zero there; clipping avoids ``-inf - -inf`` artefacts).
+    log_cdf_floor: float = -80.0
+
+    def __post_init__(self) -> None:
+        if self.quadrature_nodes < 8:
+            raise ConfigError("quadrature_nodes must be >= 8")
+        if not 0 < self.tail_mass < 0.5:
+            raise ConfigError("tail_mass must be in (0, 0.5)")
+        if self.term_tolerance <= 0:
+            raise ConfigError("term_tolerance must be positive")
+        if self.dense_terms < 1:
+            raise ConfigError("dense_terms must be >= 1")
+        if self.tail_grid_points < 8:
+            raise ConfigError("tail_grid_points must be >= 8")
+        if self.h_grid_points < 64:
+            raise ConfigError("h_grid_points must be >= 64")
+        if self.log_cdf_floor >= 0:
+            raise ConfigError("log_cdf_floor must be negative")
+
+
+DEFAULT_DISK_MODEL = DiskModel()
+DEFAULT_MODEL_CONFIG = ModelConfig()

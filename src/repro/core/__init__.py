@@ -1,0 +1,54 @@
+"""The paper's primary contribution: WA models, tuner, delay analyzer.
+
+* Eq. 1 — :mod:`repro.core.arrival_ratio` (in/out-of-order arrival split)
+* Eq. 2 — :mod:`repro.core.subsequent` (``zeta(n)`` rewrite-volume model)
+* Eq. 3 — :mod:`repro.core.wa_conventional` (``r_c``)
+* Eq. 4/5 — :mod:`repro.core.wa_separation` (``r_s(n_seq)``)
+* Algorithm 1 — :mod:`repro.core.tuning`
+* Delay analyzer + drift detection — :mod:`repro.core.analyzer`,
+  :mod:`repro.core.drift`
+"""
+
+from .allocation import (
+    SeriesAllocation,
+    SeriesWorkload,
+    allocate_budgets,
+    fleet_objective,
+)
+from .analyzer import DelayAnalyzer, DelayProfile
+from .arrival_ratio import InOrderCurve, expected_in_order, g_out_of_order
+from .drift import KsDriftDetector
+from .read_model import ReadEstimate, estimate_recent_query
+from .subsequent import ZetaModel, zeta
+from .tuning import CONVENTIONAL, SEPARATION, PolicyDecision, tune_separation_policy
+from .wa_conventional import predict_wa_conventional
+from .wa_separation import (
+    SeparationWaBreakdown,
+    predict_wa_separation,
+    separation_breakdown,
+)
+
+__all__ = [
+    "InOrderCurve",
+    "expected_in_order",
+    "g_out_of_order",
+    "ZetaModel",
+    "zeta",
+    "predict_wa_conventional",
+    "SeparationWaBreakdown",
+    "predict_wa_separation",
+    "separation_breakdown",
+    "PolicyDecision",
+    "tune_separation_policy",
+    "CONVENTIONAL",
+    "SEPARATION",
+    "DelayAnalyzer",
+    "DelayProfile",
+    "KsDriftDetector",
+    "ReadEstimate",
+    "estimate_recent_query",
+    "SeriesWorkload",
+    "SeriesAllocation",
+    "allocate_budgets",
+    "fleet_objective",
+]

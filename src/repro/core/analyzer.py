@@ -1,0 +1,224 @@
+"""The delay analyzer: the module this paper shipped into Apache IoTDB.
+
+"We implement a delay analyzer in Apache IoTDB, which will collect
+time-series data delays and generate the statistical profile of the
+delays ... Then, a statistical model is used to predict WA under pi_c and
+the minimum WA under pi_s, as well as the (sub)optimal capacities of
+C_seq and C_nonseq." (Section I-D.)
+
+:class:`DelayAnalyzer` is that component: feed it generation/arrival
+timestamp pairs as they stream in; it maintains a bounded delay sample,
+estimates the generation interval, fits a delay profile, runs Algorithm 1
+on demand, and flags distribution drift so callers (e.g.
+:class:`repro.lsm.AdaptiveEngine`) know when to re-tune.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_MODEL_CONFIG, ModelConfig
+from ..distributions import DelayDistribution, EmpiricalDelay, fit_best
+from ..errors import ModelError
+from ..stats import GKQuantileSketch, SlidingWindowSample, summarize
+from .drift import KsDriftDetector
+from .tuning import PolicyDecision, tune_separation_policy
+
+__all__ = ["DelayProfile", "DelayAnalyzer"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class DelayProfile:
+    """Statistical profile of the observed delays."""
+
+    #: The distribution handed to the WA models.
+    distribution: DelayDistribution
+    #: Parametric family name, or ``"empirical"``.
+    family: str
+    #: Estimated generation interval ``dt``.
+    dt: float
+    #: Number of delay observations behind the profile.
+    sample_count: int
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"delays ~ {self.distribution.name} (family={self.family}, "
+            f"n={self.sample_count}), dt={self.dt:g}"
+        )
+
+
+class DelayAnalyzer:
+    """Streaming delay collector + policy recommender.
+
+    Parameters
+    ----------
+    memory_budget:
+        The MemTable budget ``n`` the recommendation is for.
+    dt:
+        Generation interval; ``None`` (default) estimates it online from
+        the observed generation timestamps.
+    window:
+        Size of the recent-delay window used for profiling and drift
+        detection.
+    use_empirical:
+        When True (default) the WA models run directly on the empirical
+        delay distribution; otherwise the best-fitting parametric family
+        is used.
+    """
+
+    def __init__(
+        self,
+        memory_budget: int,
+        dt: float | None = None,
+        window: int = 4096,
+        use_empirical: bool = True,
+        model_config: ModelConfig = DEFAULT_MODEL_CONFIG,
+        drift_detector: KsDriftDetector | None = None,
+        variant: str = "consistent",
+        sstable_size: int | None = None,
+        track_long_horizon: bool = False,
+    ) -> None:
+        if memory_budget < 2:
+            raise ModelError(f"memory_budget must be >= 2, got {memory_budget}")
+        if dt is not None and dt <= 0:
+            raise ModelError(f"dt must be positive, got {dt}")
+        self.memory_budget = memory_budget
+        self._fixed_dt = dt
+        self.window = SlidingWindowSample(window)
+        self.use_empirical = use_empirical
+        self.model_config = model_config
+        self.drift = (
+            drift_detector if drift_detector is not None else KsDriftDetector()
+        )
+        self.variant = variant
+        self.sstable_size = sstable_size
+        #: Optional GK sketch over *all* delays ever observed — unlike the
+        #: sliding window, this summarises the full horizon in bounded
+        #: memory with deterministic rank guarantees.
+        self.long_horizon = (
+            GKQuantileSketch(epsilon=0.005) if track_long_horizon else None
+        )
+        self._max_tg = -np.inf
+        self._min_tg = np.inf
+        self._tg_count = 0
+        self.last_decision: PolicyDecision | None = None
+
+    # -- observation ------------------------------------------------------------
+
+    def observe(self, tg: np.ndarray, ta: np.ndarray) -> None:
+        """Feed aligned generation/arrival timestamp batches."""
+        tg = np.asarray(tg, dtype=float).ravel()
+        ta = np.asarray(ta, dtype=float).ravel()
+        if tg.size != ta.size:
+            raise ModelError(
+                f"tg and ta must align: {tg.size} vs {ta.size}"
+            )
+        if tg.size == 0:
+            return
+        delays = np.clip(ta - tg, 0.0, None)
+        self.window.offer_many(delays)
+        if self.long_horizon is not None:
+            self.long_horizon.insert_many(delays)
+        self._max_tg = max(self._max_tg, float(tg.max()))
+        self._min_tg = min(self._min_tg, float(tg.min()))
+        self._tg_count += tg.size
+
+    @property
+    def observed_points(self) -> int:
+        """Total points observed so far."""
+        return self.window.seen
+
+    # -- profile ---------------------------------------------------------------
+
+    def estimated_dt(self) -> float:
+        """The fixed ``dt`` if given, else the mean generation interval."""
+        if self._fixed_dt is not None:
+            return self._fixed_dt
+        if self._tg_count < 2 or not np.isfinite(self._max_tg):
+            raise ModelError(
+                "cannot estimate dt: need at least two observed points"
+            )
+        span = self._max_tg - self._min_tg
+        if span <= 0:
+            raise ModelError("cannot estimate dt: zero generation-time span")
+        return span / (self._tg_count - 1)
+
+    def profile(self) -> DelayProfile:
+        """Build the statistical profile of the current delay window."""
+        delays = self.window.sample()
+        if delays.size < 2:
+            raise ModelError("not enough delays observed to build a profile")
+        if self.use_empirical:
+            distribution: DelayDistribution = EmpiricalDelay(delays)
+            family = "empirical"
+        else:
+            fit = fit_best(delays)
+            distribution = fit.distribution
+            family = fit.family
+        return DelayProfile(
+            distribution=distribution,
+            family=family,
+            dt=self.estimated_dt(),
+            sample_count=int(delays.size),
+        )
+
+    def delay_summary(self):
+        """Descriptive statistics of the delay window (for reports)."""
+        return summarize(self.window.sample())
+
+    def long_horizon_quantiles(self, levels) -> np.ndarray:
+        """Approximate delay quantiles over the *entire* observed history.
+
+        Requires ``track_long_horizon=True``; unlike :meth:`profile`
+        (which sees only the recent window), these come from the GK
+        sketch and carry its epsilon-rank guarantee over every delay
+        ever observed.
+        """
+        if self.long_horizon is None:
+            raise ModelError(
+                "long-horizon tracking disabled; construct the analyzer "
+                "with track_long_horizon=True"
+            )
+        return self.long_horizon.quantiles(np.asarray(levels, dtype=float))
+
+    # -- recommendation ------------------------------------------------------------
+
+    def recommend(self, exhaustive: bool = False) -> PolicyDecision:
+        """Run Algorithm 1 on the current profile.
+
+        Also installs the current delay window as the drift-detection
+        reference, so subsequent :meth:`should_retune` calls compare
+        against the data that justified this decision.
+        """
+        profile = self.profile()
+        decision = tune_separation_policy(
+            profile.distribution,
+            profile.dt,
+            self.memory_budget,
+            config=self.model_config,
+            exhaustive=exhaustive,
+            variant=self.variant,
+            sstable_size=self.sstable_size,
+        )
+        logger.info(
+            "analyzer decision after %d points: %s",
+            self.observed_points,
+            decision.describe(),
+        )
+        self.last_decision = decision
+        delays = self.window.sample()
+        if delays.size >= self.drift.min_samples:
+            self.drift.set_reference(delays)
+        return decision
+
+    def should_retune(self) -> bool:
+        """True when no decision exists yet or the delays have drifted."""
+        if self.last_decision is None:
+            return self.window.full
+        return self.drift.drifted(self.window.sample())

@@ -1,0 +1,113 @@
+"""Arrival-ratio model: Equation 1 of the paper.
+
+Section II quantifies disorder intensity through the expected split of an
+arrival window into in-order and out-of-order points.  The ``i``-th
+arrival after a flush is in-order with probability ``F(iota_i)``, where
+``iota_i = t_a(i) - LAST(R).t_g`` is the minimum delay that would make it
+out-of-order.  With points generated (and, in steady state, arriving) at
+one per ``dt``, we use the paper's approximation ``iota_i ~= i * dt``.
+
+Two directions are provided:
+
+* :func:`expected_in_order` — given ``alpha`` arrivals, the expected
+  number of in-order points ``x = sum_{i=1..alpha} F(i * dt)``;
+* :func:`g_out_of_order` — the paper's ``g``: the expected number of
+  out-of-order arrivals accompanying ``n_seq`` in-order arrivals, i.e.
+  ``g(n_seq) = alpha - n_seq`` where ``alpha`` solves
+  ``expected_in_order(alpha) = n_seq`` (Eq. 1 inverted, since a phase is
+  driven by ``C_seq`` filling with exactly ``n_seq`` in-order points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributions import DelayDistribution
+from ..errors import ModelError
+
+__all__ = ["InOrderCurve", "expected_in_order", "g_out_of_order"]
+
+#: Hard cap on the number of arrivals explored while inverting Eq. 1;
+#: prevents runaway loops for distributions whose CDF never leaves 0.
+_MAX_ARRIVALS = 200_000_000
+_CHUNK = 65_536
+
+
+class InOrderCurve:
+    """Cumulative expected in-order count ``X(alpha) = sum F(i*dt)``.
+
+    Lazily extends an internal prefix-sum table so repeated queries (the
+    tuner sweeps many ``n_seq`` values) share the CDF evaluations.
+    """
+
+    def __init__(self, dist: DelayDistribution, dt: float) -> None:
+        if dt <= 0:
+            raise ModelError(f"generation interval dt must be positive, got {dt}")
+        self.dist = dist
+        self.dt = float(dt)
+        self._cumulative = np.empty(0, dtype=np.float64)
+
+    def _extend_to(self, alpha: int) -> None:
+        current = self._cumulative.size
+        while current < alpha:
+            grow = max(_CHUNK, alpha - current)
+            i = np.arange(current + 1, current + grow + 1, dtype=np.float64)
+            probs = np.asarray(self.dist.cdf(i * self.dt), dtype=np.float64)
+            base = self._cumulative[-1] if current else 0.0
+            self._cumulative = np.concatenate(
+                [self._cumulative, base + np.cumsum(probs)]
+            )
+            current = self._cumulative.size
+
+    def expected_in_order(self, alpha: int) -> float:
+        """``X(alpha)``: expected in-order points among ``alpha`` arrivals."""
+        if alpha < 0:
+            raise ModelError(f"alpha must be non-negative, got {alpha}")
+        if alpha == 0:
+            return 0.0
+        self._extend_to(alpha)
+        return float(self._cumulative[alpha - 1])
+
+    def arrivals_for_in_order(self, n_seq: float) -> float:
+        """Smallest (fractional) ``alpha`` with ``X(alpha) >= n_seq``.
+
+        Inverts Eq. 1.  Fractional ``alpha`` interpolates linearly between
+        consecutive arrivals so that downstream formulas vary smoothly
+        with ``n_seq``.
+        """
+        if n_seq < 0:
+            raise ModelError(f"n_seq must be non-negative, got {n_seq}")
+        if n_seq == 0:
+            return 0.0
+        size = max(self._cumulative.size, _CHUNK)
+        while self._cumulative.size == 0 or self._cumulative[-1] < n_seq:
+            if size >= _MAX_ARRIVALS:
+                raise ModelError(
+                    f"could not accumulate {n_seq} expected in-order points "
+                    f"within {_MAX_ARRIVALS} arrivals; the delay CDF "
+                    f"({self.dist.name}) stays ~0 on this time scale"
+                )
+            size = min(size * 2, _MAX_ARRIVALS)
+            self._extend_to(size)
+        idx = int(np.searchsorted(self._cumulative, n_seq, side="left"))
+        upper = self._cumulative[idx]
+        lower = self._cumulative[idx - 1] if idx else 0.0
+        step = upper - lower
+        fraction = 1.0 if step <= 0 else (n_seq - lower) / step
+        return idx + float(fraction)
+
+    def g(self, n_seq: float) -> float:
+        """Eq. 1's ``g``: expected out-of-order arrivals per ``n_seq``
+        in-order arrivals (``alpha - n_seq``)."""
+        alpha = self.arrivals_for_in_order(n_seq)
+        return max(alpha - float(n_seq), 0.0)
+
+
+def expected_in_order(dist: DelayDistribution, dt: float, alpha: int) -> float:
+    """Convenience wrapper: ``X(alpha)`` without keeping a curve around."""
+    return InOrderCurve(dist, dt).expected_in_order(alpha)
+
+
+def g_out_of_order(dist: DelayDistribution, dt: float, n_seq: float) -> float:
+    """Convenience wrapper for ``g(n_seq)``."""
+    return InOrderCurve(dist, dt).g(n_seq)

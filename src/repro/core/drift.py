@@ -1,0 +1,76 @@
+"""Delay-distribution drift detection for the adaptive tuner.
+
+Figure 10's auto-tuning program "continuously collected delays when
+writing.  If it finds that the distribution of delays changes, it would
+trigger the Separation Policy Tuning Algorithm".  We detect a change by
+comparing the delay window observed since the last (re)tune against the
+window that informed that tune, with a two-sample KS test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from ..stats import ks_two_sample
+
+__all__ = ["KsDriftDetector"]
+
+
+class KsDriftDetector:
+    """Two-sample KS drift detector over delay windows."""
+
+    def __init__(
+        self,
+        alpha: float = 0.001,
+        min_samples: int = 512,
+        statistic_floor: float = 0.08,
+    ) -> None:
+        """``alpha`` is the KS significance level; ``statistic_floor``
+        additionally requires a practically meaningful distance so huge
+        windows do not flag microscopic (but significant) differences."""
+        if not 0 < alpha < 1:
+            raise ModelError(f"alpha must be in (0, 1), got {alpha}")
+        if min_samples < 2:
+            raise ModelError(f"min_samples must be >= 2, got {min_samples}")
+        if statistic_floor < 0:
+            raise ModelError(
+                f"statistic_floor must be non-negative, got {statistic_floor}"
+            )
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.statistic_floor = statistic_floor
+        self._reference: np.ndarray | None = None
+        self.last_result = None
+
+    @property
+    def has_reference(self) -> bool:
+        """True once a reference window is set."""
+        return self._reference is not None
+
+    def set_reference(self, delays: np.ndarray) -> None:
+        """Install the delay window that informed the current policy."""
+        data = np.asarray(delays, dtype=float).ravel()
+        if data.size < self.min_samples:
+            raise ModelError(
+                f"reference needs >= {self.min_samples} delays, got {data.size}"
+            )
+        self._reference = data.copy()
+
+    def drifted(self, recent: np.ndarray) -> bool:
+        """True when ``recent`` differs from the reference window.
+
+        Returns False (never drifts) while no reference is installed or
+        the recent window is still too small to judge.
+        """
+        if self._reference is None:
+            return False
+        data = np.asarray(recent, dtype=float).ravel()
+        if data.size < self.min_samples:
+            return False
+        result = ks_two_sample(self._reference, data)
+        self.last_result = result
+        return (
+            result.statistic >= self.statistic_floor
+            and result.pvalue < self.alpha
+        )

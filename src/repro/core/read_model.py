@@ -1,0 +1,142 @@
+"""Analytical read-cost estimates for recent-data range queries.
+
+The paper measures read amplification and latency empirically (Figures
+12--14).  As a natural extension of its modelling programme, this module
+derives first-order *estimates* of the same quantities from the workload
+description alone, so the read side of the pi_c / pi_s trade-off can be
+previewed without ingesting anything:
+
+* Under either policy, a recent window of ``w`` time units holds
+  ``w / dt`` result points.
+* On disk, points live in SSTables of ``S_c = sstable_size`` points
+  (pi_c) or ``S_s = min(n_seq, sstable_size)`` points (pi_s's C_seq
+  flushes), each spanning ``S * dt`` time units of mostly-in-order data.
+* A window therefore touches ``~ w / (S * dt) + 1`` files and reads all
+  their points, minus whatever still sits in the MemTable(s), whose
+  expected fill is half the relevant capacity.
+
+These estimates capture the paper's two qualitative findings — pi_s
+reads fewer useless points (Fig. 12) but needs more files per wide
+window (Fig. 13) — and the A6 ablation benchmark checks them against
+the simulator's measured grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_DISK_MODEL, DiskModel
+from ..errors import ModelError
+
+__all__ = ["ReadEstimate", "estimate_recent_query"]
+
+
+@dataclass(frozen=True)
+class ReadEstimate:
+    """First-order read-cost estimate for one policy/window pair."""
+
+    policy: str
+    window: float
+    #: Expected points satisfying the predicate.
+    result_points: float
+    #: Expected result points still buffered in memory.
+    memory_points: float
+    #: Expected SSTable files touched.
+    files_touched: float
+    #: Expected points read from those files.
+    disk_points_read: float
+
+    @property
+    def read_amplification(self) -> float:
+        """Expected disk points read per result point."""
+        if self.result_points <= 0:
+            return float("nan")
+        return self.disk_points_read / self.result_points
+
+    def latency_ms(self, disk: DiskModel = DEFAULT_DISK_MODEL) -> float:
+        """Expected latency under the given cost model."""
+        return disk.query_overhead_ms + disk.read_cost_ms(
+            round(self.files_touched), round(self.disk_points_read)
+        )
+
+
+def estimate_recent_query(
+    window: float,
+    dt: float,
+    memory_budget: int,
+    sstable_size: int,
+    policy: str = "conventional",
+    seq_capacity: int | None = None,
+    out_of_order_fraction: float = 0.0,
+) -> ReadEstimate:
+    """Estimate the read cost of ``time > max_time - window``.
+
+    Parameters mirror the write-side models: the generation interval
+    ``dt``, the memory budget ``n``, the SSTable size, and — for the
+    separation policy — the ``C_seq`` capacity (default ``n/2``).
+    ``out_of_order_fraction`` is the workload's disorder intensity; it
+    matters only under ``pi_c``, where disorder makes flush files span
+    wide generation-time ranges so a recent window effectively always
+    overlaps at least one file.
+    """
+    if window <= 0:
+        raise ModelError(f"window must be positive, got {window}")
+    if dt <= 0:
+        raise ModelError(f"dt must be positive, got {dt}")
+    if memory_budget < 2 or sstable_size < 1:
+        raise ModelError("memory_budget must be >= 2 and sstable_size >= 1")
+    if policy not in ("conventional", "separation"):
+        raise ModelError(
+            f"policy must be 'conventional' or 'separation', got {policy!r}"
+        )
+    if not 0.0 <= out_of_order_fraction <= 1.0:
+        raise ModelError(
+            f"out_of_order_fraction must be in [0, 1], "
+            f"got {out_of_order_fraction}"
+        )
+    result_points = window / dt
+    if policy == "conventional":
+        buffer_capacity = float(memory_budget)
+        file_points = float(sstable_size)
+    else:
+        capacity = (
+            seq_capacity if seq_capacity is not None else memory_budget // 2
+        )
+        if not 1 <= capacity <= memory_budget - 1:
+            raise ModelError(
+                f"seq_capacity must be in [1, {memory_budget - 1}], "
+                f"got {capacity}"
+            )
+        buffer_capacity = float(capacity)
+        # C_seq flushes produce files of n_seq points (or sstable_size
+        # chunks when n_seq exceeds it).
+        file_points = float(min(capacity, sstable_size))
+    # The buffer fill is uniform over [0, B] between flushes; the newest
+    # min(fill, w) result points are served from memory:
+    # E[min(U, w)] = w - w^2 / (2B) for w <= B, else B / 2.
+    w = result_points
+    if w <= buffer_capacity:
+        memory_points = w - w * w / (2.0 * buffer_capacity)
+        disk_result = w * w / (2.0 * buffer_capacity)
+        p_disk = w / buffer_capacity
+    else:
+        memory_points = buffer_capacity / 2.0
+        disk_result = w - memory_points
+        p_disk = 1.0
+    # Expected files: the boundary file whenever any disk portion exists,
+    # plus one file per file_points of interior disk coverage.  Under a
+    # disordered pi_c layout the newest flush files span wide ranges, so
+    # the boundary file is effectively always overlapped.
+    boundary = p_disk
+    if policy == "conventional" and out_of_order_fraction > 0.05:
+        boundary = 1.0
+    files = boundary + disk_result / file_points
+    disk_read = files * file_points
+    return ReadEstimate(
+        policy="pi_c" if policy == "conventional" else "pi_s",
+        window=window,
+        result_points=result_points,
+        memory_points=memory_points,
+        files_touched=float(files),
+        disk_points_read=float(disk_read),
+    )

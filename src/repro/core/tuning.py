@@ -1,0 +1,178 @@
+"""Separation Policy Tuning — Algorithm 1 of the paper.
+
+Given the memory budget ``n``, the delay distribution (PDF/CDF) and the
+generation interval ``dt``, compute ``r_c`` and sweep ``r_s(n_seq)`` over
+``n_seq in [1, n-1]``; return the policy with the lower predicted WA and,
+for separation, the (sub)optimal ``C_seq`` capacity ``n̂*_seq``.
+
+The paper's Algorithm 1 evaluates every ``n_seq``; because ``r_s`` is
+U-shaped in ``n_seq`` (Section V-B), the default here evaluates a coarse
+grid and refines around the minimum, which is orders of magnitude faster
+and lands on the same (sub)optimum.  ``exhaustive=True`` restores the
+literal sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_MODEL_CONFIG, ModelConfig
+from ..distributions import DelayDistribution
+from ..errors import ModelError
+import math
+
+from .arrival_ratio import InOrderCurve
+from .subsequent import ZetaModel
+from .wa_conventional import GRANULARITY_KAPPA, predict_wa_conventional
+from .wa_separation import separation_breakdown
+
+__all__ = ["PolicyDecision", "tune_separation_policy"]
+
+#: Policy labels used throughout the library.
+CONVENTIONAL = "conventional"
+SEPARATION = "separation"
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Output of Algorithm 1: the recommended policy and its evidence."""
+
+    #: ``"conventional"`` (pi_c) or ``"separation"`` (pi_s).
+    policy: str
+    #: Recommended ``C_seq`` capacity (``n̂*_seq``); ``None`` under pi_c.
+    seq_capacity: int | None
+    #: Predicted WA under pi_c (Eq. 3).
+    r_c: float
+    #: Minimum predicted WA under pi_s across the sweep.
+    r_s_star: float
+    #: ``n_seq`` values evaluated during the sweep.
+    sweep_n_seq: np.ndarray
+    #: Predicted ``r_s`` per evaluated ``n_seq``.
+    sweep_r_s: np.ndarray
+
+    @property
+    def predicted_wa(self) -> float:
+        """Predicted WA of the recommended policy."""
+        return self.r_c if self.policy == CONVENTIONAL else self.r_s_star
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.policy == CONVENTIONAL:
+            return (
+                f"pi_c recommended: r_c={self.r_c:.3f} <= "
+                f"r_s*={self.r_s_star:.3f}"
+            )
+        return (
+            f"pi_s(n_seq={self.seq_capacity}) recommended: "
+            f"r_s*={self.r_s_star:.3f} < r_c={self.r_c:.3f}"
+        )
+
+
+def _candidate_grid(n: int, coarse_points: int) -> np.ndarray:
+    """Coarse ``n_seq`` candidates covering ``[1, n-1]``."""
+    grid = np.unique(
+        np.round(np.linspace(1, n - 1, min(coarse_points, n - 1))).astype(int)
+    )
+    return grid
+
+
+def tune_separation_policy(
+    dist: DelayDistribution,
+    dt: float,
+    memory_budget: int,
+    config: ModelConfig = DEFAULT_MODEL_CONFIG,
+    exhaustive: bool = False,
+    coarse_points: int = 24,
+    refine_rounds: int = 3,
+    variant: str = "consistent",
+    sstable_size: int | None = None,
+) -> PolicyDecision:
+    """Run Algorithm 1 and return a :class:`PolicyDecision`.
+
+    ``coarse_points`` / ``refine_rounds`` control the grid-and-refine
+    search used instead of the literal 1..n-1 sweep; ``exhaustive=True``
+    evaluates every capacity (slow, exact Algorithm 1).  Pass
+    ``sstable_size`` so ``r_c`` includes the SSTable-granularity padding
+    the engine actually pays (recommended for decision making; see
+    :mod:`repro.core.wa_conventional`).
+    """
+    n = memory_budget
+    if n < 2:
+        raise ModelError(f"memory_budget must be >= 2, got {n}")
+    zeta_model = ZetaModel(dist, dt, config)
+    curve = InOrderCurve(dist, dt)
+
+    def r_s(n_seq: int) -> float:
+        breakdown = separation_breakdown(
+            dist,
+            dt,
+            n,
+            n_seq,
+            config=config,
+            zeta_model=zeta_model,
+            in_order_curve=curve,
+            variant=variant,
+        )
+        wa = breakdown.wa
+        # Symmetric SSTable-granularity padding: the phase-closing merge
+        # also rewrites whole tables, amortised over the phase's
+        # arrivals (mirrors predict_wa_conventional's correction).
+        if (
+            sstable_size is not None
+            and math.isfinite(breakdown.n_arrive)
+            and breakdown.n_bef + breakdown.n_cur > 1.0
+        ):
+            wa += GRANULARITY_KAPPA * sstable_size / breakdown.n_arrive
+        return wa
+
+    r_c = predict_wa_conventional(
+        dist, dt, n, config=config, zeta_model=zeta_model, sstable_size=sstable_size
+    )
+
+    evaluated: dict[int, float] = {}
+
+    def evaluate(candidates: np.ndarray) -> None:
+        for n_seq in candidates:
+            key = int(n_seq)
+            if key not in evaluated:
+                evaluated[key] = r_s(key)
+
+    if exhaustive:
+        evaluate(np.arange(1, n))
+    else:
+        evaluate(_candidate_grid(n, coarse_points))
+        for _ in range(refine_rounds):
+            keys = np.asarray(sorted(evaluated))
+            values = np.asarray([evaluated[k] for k in keys])
+            best = int(np.argmin(values))
+            lo = keys[max(best - 1, 0)]
+            hi = keys[min(best + 1, keys.size - 1)]
+            if hi - lo <= 2:
+                break
+            evaluate(np.unique(np.round(np.linspace(lo, hi, 7)).astype(int)))
+
+    keys = np.asarray(sorted(evaluated))
+    values = np.asarray([evaluated[k] for k in keys])
+    best = int(np.argmin(values))
+    r_s_star = float(values[best])
+    best_n_seq = int(keys[best])
+
+    if r_s_star < r_c:
+        return PolicyDecision(
+            policy=SEPARATION,
+            seq_capacity=best_n_seq,
+            r_c=r_c,
+            r_s_star=r_s_star,
+            sweep_n_seq=keys,
+            sweep_r_s=values,
+        )
+    return PolicyDecision(
+        policy=CONVENTIONAL,
+        seq_capacity=None,
+        r_c=r_c,
+        r_s_star=r_s_star,
+        sweep_n_seq=keys,
+        sweep_r_s=values,
+    )

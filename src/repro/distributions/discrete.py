@@ -1,0 +1,132 @@
+"""Discrete delay distributions.
+
+Dataset H's transmission channel produces delays with *atoms*: a point
+either ships immediately (small jitter) or waits for the next re-send
+tick, so the delay law mixes a continuous fast path with near-discrete
+mass at multiples of the re-send period (Figure 19b).
+:class:`DiscreteDelay` provides the atomic building block; combined with
+:class:`~repro.distributions.MixtureDelay` it expresses that law in
+closed form — and the WA models consume it like any other distribution,
+because their quadrature works on quantiles, never on densities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+from .base import DelayDistribution
+
+__all__ = ["DiscreteDelay", "periodic_batch_delay"]
+
+
+class DiscreteDelay(DelayDistribution):
+    """A finite distribution over fixed delay values with given weights."""
+
+    def __init__(
+        self, values: Sequence[float], weights: Sequence[float]
+    ) -> None:
+        vals = np.asarray(values, dtype=float).ravel()
+        wts = np.asarray(weights, dtype=float).ravel()
+        if vals.size == 0:
+            raise DistributionError("DiscreteDelay needs at least one value")
+        if vals.size != wts.size:
+            raise DistributionError(
+                f"{vals.size} values but {wts.size} weights"
+            )
+        if np.any(vals < 0):
+            raise DistributionError("delay values must be non-negative")
+        if np.any(wts < 0) or wts.sum() <= 0:
+            raise DistributionError(
+                "weights must be non-negative with positive sum"
+            )
+        order = np.argsort(vals, kind="stable")
+        self._values = vals[order]
+        self._weights = wts[order] / wts.sum()
+        self._cum = np.cumsum(self._weights)
+        self.name = f"discrete({vals.size} atoms)"
+
+    @property
+    def atoms(self) -> np.ndarray:
+        """Sorted delay values (copy)."""
+        return self._values.copy()
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalised weights aligned with :attr:`atoms` (copy)."""
+        return self._weights.copy()
+
+    def pdf(self, x):
+        # Atomic distribution: densities are not meaningful; report 0.
+        arr = np.asarray(x, dtype=float)
+        out = np.zeros_like(arr)
+        return float(out) if np.isscalar(x) else out
+
+    def cdf(self, x):
+        arr = np.asarray(x, dtype=float)
+        idx = np.searchsorted(self._values, arr, side="right")
+        out = np.where(idx > 0, self._cum[np.maximum(idx - 1, 0)], 0.0)
+        return float(out) if np.isscalar(x) else out
+
+    def quantile(self, q):
+        qs = np.asarray(q, dtype=float)
+        if np.any((qs < 0) | (qs > 1)):
+            raise DistributionError(f"quantile levels must be in [0, 1]: {q}")
+        idx = np.searchsorted(self._cum, qs, side="left")
+        out = self._values[np.minimum(idx, self._values.size - 1)]
+        return float(out) if np.isscalar(q) else out
+
+    def sample(self, size, rng):
+        return rng.choice(self._values, size=size, p=self._weights)
+
+    def mean(self):
+        return float(np.dot(self._values, self._weights))
+
+    def variance(self):
+        mean = self.mean()
+        return float(np.dot((self._values - mean) ** 2, self._weights))
+
+    def support_upper(self):
+        return float(self._values[-1])
+
+    def __repr__(self):
+        return (
+            f"DiscreteDelay(values={self._values.tolist()!r}, "
+            f"weights={self._weights.tolist()!r})"
+        )
+
+
+def periodic_batch_delay(
+    period: float,
+    batch_weight: float,
+    ticks: int = 4,
+    tick_decay: float = 0.5,
+) -> DiscreteDelay:
+    """Atoms at 0 and at re-send ticks ``period, 2*period, ...``.
+
+    Models dataset H's channel in closed form: mass ``1 - batch_weight``
+    ships immediately; the rest waits for the next tick, with
+    geometrically decaying probability of needing further ticks
+    (``tick_decay`` per extra period).
+    """
+    if period <= 0:
+        raise DistributionError(f"period must be positive, got {period}")
+    if not 0 <= batch_weight < 1:
+        raise DistributionError(
+            f"batch_weight must be in [0, 1), got {batch_weight}"
+        )
+    if ticks < 1:
+        raise DistributionError(f"ticks must be >= 1, got {ticks}")
+    if not 0 < tick_decay < 1:
+        raise DistributionError(
+            f"tick_decay must be in (0, 1), got {tick_decay}"
+        )
+    values = [0.0] + [period * k for k in range(1, ticks + 1)]
+    tick_weights = np.asarray(
+        [tick_decay**k for k in range(ticks)], dtype=float
+    )
+    tick_weights = batch_weight * tick_weights / tick_weights.sum()
+    weights = [1.0 - batch_weight, *tick_weights.tolist()]
+    return DiscreteDelay(values, weights)

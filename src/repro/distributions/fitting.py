@@ -1,0 +1,172 @@
+"""Fitting parametric delay distributions to observed samples.
+
+The delay analyzer can either run the WA models directly on an
+:class:`~repro.distributions.EmpiricalDelay`, or fit a parametric family
+first (smoother tails, cheaper quadrature).  This module provides maximum
+likelihood fits for the families used in the paper and a simple model
+selector based on the Kolmogorov–Smirnov distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FittingError
+from .base import DelayDistribution
+from .empirical import EmpiricalDelay
+from .parametric import (
+    ExponentialDelay,
+    GammaDelay,
+    HalfNormalDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+
+__all__ = [
+    "FitResult",
+    "fit_lognormal",
+    "fit_exponential",
+    "fit_uniform",
+    "fit_halfnormal",
+    "fit_gamma",
+    "fit_best",
+    "ks_distance",
+]
+
+_EPS = 1e-9
+
+
+def _clean(samples: np.ndarray, minimum: int = 2) -> np.ndarray:
+    data = np.asarray(samples, dtype=float).ravel()
+    data = data[np.isfinite(data)]
+    data = np.clip(data, 0.0, None)
+    if data.size < minimum:
+        raise FittingError(
+            f"need at least {minimum} finite samples, got {data.size}"
+        )
+    return data
+
+
+def ks_distance(dist: DelayDistribution, samples: np.ndarray) -> float:
+    """One-sample Kolmogorov–Smirnov distance between ``dist`` and data."""
+    data = np.sort(_clean(samples))
+    n = data.size
+    cdf = np.asarray(dist.cdf(data), dtype=float)
+    upper = np.arange(1, n + 1) / n - cdf
+    lower = cdf - np.arange(0, n) / n
+    return float(max(upper.max(), lower.max(), 0.0))
+
+
+def fit_lognormal(samples: np.ndarray) -> LogNormalDelay:
+    """MLE lognormal fit (mean/std of log-delays, zeros nudged up)."""
+    data = _clean(samples)
+    logs = np.log(np.maximum(data, _EPS))
+    sigma = float(logs.std())
+    if sigma <= 0:
+        raise FittingError("lognormal fit degenerate: zero variance in log-delays")
+    return LogNormalDelay(mu=float(logs.mean()), sigma=sigma)
+
+
+def fit_exponential(samples: np.ndarray) -> ExponentialDelay:
+    """MLE exponential fit (sample mean)."""
+    data = _clean(samples)
+    mean = float(data.mean())
+    if mean <= 0:
+        raise FittingError("exponential fit degenerate: zero mean delay")
+    return ExponentialDelay(mean=mean)
+
+
+def fit_uniform(samples: np.ndarray) -> UniformDelay:
+    """MLE uniform fit (sample min/max)."""
+    data = _clean(samples)
+    low, high = float(data.min()), float(data.max())
+    if high <= low:
+        raise FittingError("uniform fit degenerate: all delays identical")
+    return UniformDelay(low=low, high=high)
+
+
+def fit_halfnormal(samples: np.ndarray) -> HalfNormalDelay:
+    """MLE half-normal fit (root mean square)."""
+    data = _clean(samples)
+    sigma = float(np.sqrt(np.mean(data * data)))
+    if sigma <= 0:
+        raise FittingError("half-normal fit degenerate: all delays zero")
+    return HalfNormalDelay(sigma=sigma)
+
+
+def fit_gamma(samples: np.ndarray) -> GammaDelay:
+    """Method-of-moments gamma fit (robust, no iteration)."""
+    data = _clean(samples)
+    mean = float(data.mean())
+    var = float(data.var())
+    if mean <= 0 or var <= 0:
+        raise FittingError("gamma fit degenerate: zero mean or variance")
+    shape = mean * mean / var
+    scale = var / mean
+    return GammaDelay(shape=shape, scale=scale)
+
+
+_FITTERS = {
+    "lognormal": fit_lognormal,
+    "exponential": fit_exponential,
+    "gamma": fit_gamma,
+    "halfnormal": fit_halfnormal,
+    "uniform": fit_uniform,
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of :func:`fit_best`."""
+
+    distribution: DelayDistribution
+    family: str
+    ks: float
+    #: KS distance per candidate family that fit successfully.
+    candidates: dict[str, float]
+
+
+def fit_best(
+    samples: np.ndarray,
+    families: tuple[str, ...] = ("lognormal", "exponential", "gamma", "halfnormal"),
+    empirical_fallback: bool = True,
+) -> FitResult:
+    """Fit each candidate family and return the best by KS distance.
+
+    If every parametric fit fails (or ``families`` is empty) and
+    ``empirical_fallback`` is set, an :class:`EmpiricalDelay` over the
+    samples is returned with family name ``"empirical"``.
+    """
+    data = _clean(samples)
+    candidates: dict[str, float] = {}
+    best_name: str | None = None
+    best_dist: DelayDistribution | None = None
+    best_ks = np.inf
+    for family in families:
+        if family not in _FITTERS:
+            raise FittingError(
+                f"unknown family {family!r}; choose from {sorted(_FITTERS)}"
+            )
+        try:
+            dist = _FITTERS[family](data)
+        except FittingError:
+            continue
+        distance = ks_distance(dist, data)
+        candidates[family] = distance
+        if distance < best_ks:
+            best_name, best_dist, best_ks = family, dist, distance
+    if best_dist is None:
+        if not empirical_fallback:
+            raise FittingError("no parametric family could be fitted")
+        empirical = EmpiricalDelay(data)
+        return FitResult(
+            distribution=empirical,
+            family="empirical",
+            ks=0.0,
+            candidates=candidates,
+        )
+    return FitResult(
+        distribution=best_dist, family=best_name, ks=best_ks, candidates=candidates
+    )

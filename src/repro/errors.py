@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure while letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object or parameter is invalid."""
+
+
+class DistributionError(ReproError):
+    """A delay distribution was constructed or used with invalid arguments."""
+
+
+class FittingError(DistributionError):
+    """Distribution fitting failed (e.g. not enough samples, degenerate data)."""
+
+
+class EngineError(ReproError):
+    """An LSM engine was driven into an invalid state or misused."""
+
+
+class EngineClosedError(EngineError):
+    """An operation was attempted on an engine after :meth:`close`."""
+
+
+class ModelError(ReproError):
+    """An analytical model was evaluated with invalid inputs."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class QueryError(ReproError):
+    """A query was malformed (e.g. inverted time range)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown experiment id, bad scale...)."""

@@ -1,0 +1,41 @@
+"""One module per paper figure/table, plus design ablations.
+
+Run any experiment from the command line::
+
+    python -m repro fig09 --scale 0.5
+
+or from Python::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig07").render())
+
+See DESIGN.md's experiment index for the figure -> module mapping.
+Experiments accept a ``scale`` factor multiplying the default dataset
+sizes (the paper uses 10M-point datasets; defaults here are scaled to
+finish in seconds, and WA ratios converge quickly with size).
+"""
+
+from .registry import EXPERIMENTS, experiment_ids, get_experiment, run_experiment
+from .report import ExperimentResult, ResultTable, format_table
+from .runner import (
+    WaSweep,
+    dataset_delay_model,
+    measure_wa,
+    measure_wa_adaptive,
+    sweep_wa_vs_nseq,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentResult",
+    "ResultTable",
+    "format_table",
+    "WaSweep",
+    "measure_wa",
+    "measure_wa_adaptive",
+    "sweep_wa_vs_nseq",
+    "dataset_delay_model",
+]

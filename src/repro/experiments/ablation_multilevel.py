@@ -1,0 +1,75 @@
+"""Ablation A3: why the general leveled-LSM WA bound cannot decide.
+
+Section VII-A: the classical leveled write-amplification form
+``O(T * L / B)`` "is not acute enough to detect the difference between
+pi_c and pi_s" — it depends only on structural constants, not on the
+workload's disorder.  This ablation runs the textbook size-ratio-``T``
+engine next to pi_c/pi_s on a mild and a severe workload: the
+multi-level engine's WA barely reacts to disorder while the single-run
+policies' WA (and their ranking) swing widely.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_MEMORY_BUDGET, LsmConfig
+from ..distributions import LogNormalDelay
+from ..lsm import MultiLevelEngine
+from ..workloads import generate_synthetic
+from .report import ExperimentResult
+from .runner import measure_wa
+
+EXPERIMENT_ID = "ablation_multilevel"
+TITLE = "A3: size-ratio-T leveling vs pi_c/pi_s across disorder levels"
+PAPER_REF = (
+    "Section VII-A's contrast with the general O(T*L/B) bound; "
+    "workload-insensitive structure vs disorder-sensitive policies."
+)
+
+_BASE_POINTS = 80_000
+_WORKLOADS = (
+    ("mild (mu=4, sigma=1.5, dt=50)", LogNormalDelay(4.0, 1.5), 50.0),
+    ("severe (mu=5, sigma=2, dt=10)", LogNormalDelay(5.0, 2.0), 10.0),
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Run the engine comparison on a mild and a severe workload."""
+    n_points = max(int(_BASE_POINTS * scale), 10_000)
+    budget = DEFAULT_MEMORY_BUDGET
+    rows = []
+    for label, delay, dt in _WORKLOADS:
+        dataset = generate_synthetic(n_points, dt=dt, delay=delay, seed=seed)
+        conventional = measure_wa(dataset, "conventional", budget, budget)
+        separation = measure_wa(
+            dataset, "separation", budget, budget, seq_capacity=budget // 2
+        )
+        multilevel = MultiLevelEngine(
+            LsmConfig(memory_budget=budget), size_ratio=4, max_levels=5
+        )
+        multilevel.ingest(dataset.tg)
+        multilevel.flush_all()
+        rows.append(
+            [
+                label,
+                conventional.write_amplification,
+                separation.write_amplification,
+                multilevel.write_amplification,
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    result.add_table(
+        "WA by engine and workload",
+        ["workload", "pi_c", "pi_s(n/2)", "leveled T=4"],
+        rows,
+    )
+    swing_single = rows[1][1] / rows[0][1]
+    swing_multi = rows[1][3] / rows[0][3]
+    result.notes.append(
+        f"pi_c WA swings {swing_single:.1f}x between workloads while the "
+        f"T-leveled engine swings {swing_multi:.1f}x — the structural "
+        "bound cannot rank pi_c vs pi_s; the paper's workload-aware "
+        "models can."
+    )
+    return result

@@ -1,0 +1,72 @@
+"""Ablation A2: zeta(n) numerics — accuracy/runtime trade-off.
+
+Sweeps the quadrature resolution, dense-region width and truncation
+tolerance of :class:`~repro.core.ZetaModel`, reporting the value drift
+against the tightest setting and the evaluation time, to justify the
+defaults in :class:`~repro.config.ModelConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import ModelConfig
+from ..core import ZetaModel
+from ..distributions import LogNormalDelay
+from .report import ExperimentResult
+
+EXPERIMENT_ID = "ablation_zeta"
+TITLE = "A2: zeta(n) quadrature/truncation settings vs accuracy and cost"
+PAPER_REF = (
+    "Numerical-design ablation for Eq. 2's evaluator (not a paper "
+    "figure); reference value uses the tightest settings."
+)
+
+_DT = 10.0
+_N = 512
+_SETTINGS = (
+    ("reference (K=512, dense=8192, tol=1e-6)",
+     ModelConfig(quadrature_nodes=512, dense_terms=8192, term_tolerance=1e-6)),
+    ("default (K=96, dense=1024, tol=1e-4)", ModelConfig()),
+    ("coarse (K=32, dense=256, tol=1e-3)",
+     ModelConfig(quadrature_nodes=32, dense_terms=256, term_tolerance=1e-3)),
+    ("tiny (K=16, dense=64, tol=1e-2)",
+     ModelConfig(quadrature_nodes=16, dense_terms=64, term_tolerance=1e-2)),
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Run the numerics ablation (scale/seed unused; kept for the
+    common experiment signature)."""
+    delay = LogNormalDelay(5.0, 2.0)
+    rows = []
+    reference = None
+    for label, config in _SETTINGS:
+        start = time.perf_counter()
+        value = ZetaModel(delay, _DT, config).zeta(_N)
+        elapsed_ms = 1000.0 * (time.perf_counter() - start)
+        if reference is None:
+            reference = value
+        rows.append(
+            [
+                label,
+                value,
+                100.0 * abs(value - reference) / reference,
+                elapsed_ms,
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    result.add_table(
+        f"zeta({_N}) for lognormal(mu=5, sigma=2), dt={_DT:g}",
+        ["setting", "zeta", "drift vs reference %", "eval time (ms)"],
+        rows,
+    )
+    default_drift = rows[1][2]
+    result.notes.append(
+        f"default settings drift {default_drift:.3f}% from the reference "
+        "while being much cheaper — numerics are not the model's error "
+        "bottleneck (the i.i.d./constant-gap assumptions are)."
+    )
+    return result

@@ -1,0 +1,79 @@
+"""Figure 7: WA under pi_c and pi_s across C_seq capacities.
+
+Setup from Section IV: lognormal delays (mu=5, sigma=2), generation
+interval 50, SSTable size 512 points, memory budget n=512.  Scatters are
+measured WA; the flat line is ``r_c``; the U-shaped curve is
+``r_s(n_seq)``.
+"""
+
+from __future__ import annotations
+
+from ..core import predict_wa_conventional
+from ..distributions import LogNormalDelay
+from ..workloads import generate_synthetic
+from .asciiplot import line_plot
+from .report import ExperimentResult
+from .runner import sweep_wa_vs_nseq
+
+EXPERIMENT_ID = "fig07"
+TITLE = "WA vs n_seq under pi_s, with the pi_c reference"
+PAPER_REF = (
+    "Figure 7 — lognormal (mu=5, sigma=2), dt=50, n=512, SSTable=512; "
+    "scatters: experiments; curves: r_c and r_s(n_seq)."
+)
+
+_DT = 50.0
+_MU, _SIGMA = 5.0, 2.0
+_BUDGET = 512
+_SSTABLE = 512
+_N_SEQ = (32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384, 416, 448, 480)
+_BASE_POINTS = 200_000
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 7 at ``scale`` times the default dataset size."""
+    n_points = max(int(_BASE_POINTS * scale), 10_000)
+    delay = LogNormalDelay(_MU, _SIGMA)
+    dataset = generate_synthetic(n_points, dt=_DT, delay=delay, seed=seed)
+    sweep = sweep_wa_vs_nseq(
+        dataset, delay, _DT, _BUDGET, _SSTABLE, list(_N_SEQ)
+    )
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    rows = [
+        [n_seq, measured, modelled]
+        for n_seq, measured, modelled in zip(
+            sweep.n_seq, sweep.measured, sweep.modelled
+        )
+    ]
+    result.add_table(
+        "WA under pi_s vs n_seq (experiment and model r_s)",
+        ["n_seq", "experiment", "r_s model"],
+        rows,
+    )
+    result.add_table(
+        "pi_c reference",
+        ["experiment WA", "r_c model"],
+        [[sweep.measured_conventional, sweep.modelled_conventional]],
+    )
+    result.charts.append(
+        line_plot(
+            list(sweep.n_seq),
+            {
+                "e experiment": sweep.measured.tolist(),
+                "r r_s model": sweep.modelled.tolist(),
+                "c r_c model": [sweep.modelled_conventional] * len(sweep.n_seq),
+            },
+            x_label="n_seq",
+            y_label="write amplification",
+        )
+    )
+    best_m = sweep.best_measured()
+    best_r = sweep.best_modelled()
+    result.notes.append(
+        f"measured optimum n_seq={best_m[0]} (WA={best_m[1]:.3f}); "
+        f"model optimum n_seq={best_r[0]} (r_s={best_r[1]:.3f}); "
+        f"pi_s beats pi_c in both experiment and model for this workload."
+    )
+    return result

@@ -1,0 +1,85 @@
+"""Figure 16: robustness on dataset H — dependent delays, WA verdict.
+
+Section V-E / VI: the real dataset H violates the i.i.d. assumption (its
+delay autocorrelation is strongly significant, Figure 16a), yet the
+approximate models still detect that pi_c beats pi_s(n̂*_seq) (Figure
+16b) — the analyzer picks pi_c for this workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import tune_separation_policy
+from ..stats import autocorrelation
+from ..workloads import generate_vehicle_h
+from .report import ExperimentResult
+from .runner import dataset_delay_model, measure_wa
+
+EXPERIMENT_ID = "fig16"
+TITLE = "Dataset H: delay autocorrelation + WA verdict (pi_c vs pi_s)"
+PAPER_REF = (
+    "Figure 16 — (a) MATLAB-style autocorr of H's delays with "
+    "independence bands; (b) estimated and real WA: pi_c wins."
+)
+
+_BASE_POINTS = 120_000
+_BUDGET = 512
+_SSTABLE = 512
+
+
+def run(scale: float = 1.0, seed: int = 6) -> ExperimentResult:
+    """Regenerate Figure 16 on the simulated H."""
+    n_points = max(int(_BASE_POINTS * scale), 10_000)
+    dataset = generate_vehicle_h(n_points=n_points, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+
+    acf = autocorrelation(dataset.delays, max_lag=20)
+    result.add_table(
+        "(a) Delay autocorrelation",
+        ["lag", "acf", "independence band (+/-)", "significant"],
+        [
+            [int(lag), float(value), acf.band, bool(abs(value) > acf.band)]
+            for lag, value in zip(acf.lags[1:], acf.acf[1:])
+        ],
+    )
+
+    dist, dt = dataset_delay_model(dataset)
+    decision = tune_separation_policy(dist, dt, _BUDGET, sstable_size=_SSTABLE)
+    n_seq = (
+        decision.seq_capacity
+        if decision.seq_capacity is not None
+        else _BUDGET // 2
+    )
+    conventional = measure_wa(dataset, "conventional", _BUDGET, _SSTABLE)
+    separation = measure_wa(
+        dataset, "separation", _BUDGET, _SSTABLE, seq_capacity=n_seq
+    )
+    result.add_table(
+        "(b) WA estimate vs truth",
+        ["policy", "estimated WA", "measured WA"],
+        [
+            ["pi_c", decision.r_c, conventional.write_amplification],
+            [
+                f"pi_s(n_seq*={n_seq})",
+                decision.r_s_star,
+                separation.write_amplification,
+            ],
+        ],
+    )
+    significant = acf.significant_lags()
+    winner_est = "pi_c" if decision.policy == "conventional" else "pi_s"
+    winner_real = (
+        "pi_c"
+        if conventional.write_amplification <= separation.write_amplification
+        else "pi_s"
+    )
+    result.notes.append(
+        f"{significant.size}/20 lags significant (delays are NOT "
+        f"independent); estimated winner {winner_est}, measured winner "
+        f"{winner_real} (paper: pi_c on both despite the violated "
+        "assumption)."
+    )
+    return result

@@ -1,0 +1,80 @@
+"""Figure 18: S-9 with data not generated at a constant frequency.
+
+Section V-E: the generation gaps of S-9 "var[y] significantly from pair
+to pair" (Figure 18a shows the sorted gaps); despite the violated
+constant-frequency assumption, the estimation "can successfully predict
+that the WA under pi_s(n̂*_seq) is lower than pi_c" (Figure 18b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import tune_separation_policy
+from ..stats import summarize
+from ..workloads import S9_MEMORY_BUDGET, generate_s9
+from .report import ExperimentResult
+from .runner import dataset_delay_model, measure_wa
+
+EXPERIMENT_ID = "fig18"
+TITLE = "S-9 with irregular generation intervals: WA verdict holds"
+PAPER_REF = (
+    "Figure 18 — (a) sorted generation intervals of S-9 (highly "
+    "variable); (b) estimated vs real WA: pi_s(n̂*) still lower."
+)
+
+
+def run(scale: float = 1.0, seed: int = 9) -> ExperimentResult:
+    """Regenerate Figure 18 on the simulated S-9."""
+    n_points = max(int(30_000 * scale), 2_000)
+    dataset = generate_s9(n_points=n_points, seed=seed)
+    intervals = dataset.generation_intervals()
+    stats = summarize(intervals)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    quantiles = np.quantile(intervals, [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0])
+    result.add_table(
+        "(a) Generation interval distribution (ms, sorted-gap quantiles)",
+        ["min", "p10", "p25", "p50", "p75", "p90", "max", "cv"],
+        [[*[float(q) for q in quantiles], stats.std / stats.mean]],
+    )
+    dist, dt = dataset_delay_model(dataset)
+    budget = S9_MEMORY_BUDGET
+    decision = tune_separation_policy(
+        dist, dt, budget, exhaustive=True, sstable_size=budget
+    )
+    n_seq = (
+        decision.seq_capacity
+        if decision.seq_capacity is not None
+        else budget // 2
+    )
+    conventional = measure_wa(dataset, "conventional", budget, budget)
+    separation = measure_wa(
+        dataset, "separation", budget, budget, seq_capacity=n_seq
+    )
+    result.add_table(
+        "(b) WA estimate vs truth (mean-interval approximation)",
+        ["policy", "estimated WA", "measured WA"],
+        [
+            ["pi_c", decision.r_c, conventional.write_amplification],
+            [
+                f"pi_s(n_seq*={n_seq})",
+                decision.r_s_star,
+                separation.write_amplification,
+            ],
+        ],
+    )
+    verdict_holds = (
+        (decision.r_s_star < decision.r_c)
+        == (
+            separation.write_amplification
+            < conventional.write_amplification
+        )
+    )
+    result.notes.append(
+        f"interval cv={stats.std / stats.mean:.2f} (far from constant "
+        f"frequency); verdict agreement between estimate and truth: "
+        f"{verdict_holds} (paper: holds)."
+    )
+    return result

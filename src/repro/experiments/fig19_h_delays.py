@@ -1,0 +1,74 @@
+"""Figure 19: delay characterisation of the (simulated) vehicle dataset H.
+
+Section VI: H's delays show "some systematic patterns ... most of the
+delays are indeed less than about 5x10^4 ms" with a re-send mode near
+the 5x10^4 ms period; out-of-order points are ~0.0375% with an average
+delay of ~2.49 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats import build_histogram, summarize
+from ..workloads import H_RESEND_PERIOD_MS, generate_vehicle_h
+from .asciiplot import histogram_plot
+from .report import ExperimentResult
+
+EXPERIMENT_ID = "fig19"
+TITLE = "Dataset H delay profile: fast path + systematic re-send mode"
+PAPER_REF = (
+    "Figure 19 — H's delays and histogram; systematic mode near 5x10^4 "
+    "ms; 0.0375% out-of-order, avg out-of-order delay ~2.49 s (original)."
+)
+
+#: Published statistics of the real dataset H.
+PAPER_OUT_OF_ORDER_PERCENT = 0.0375
+PAPER_MEAN_OOO_DELAY_S = 2.49
+
+_BASE_POINTS = 200_000
+
+
+def run(scale: float = 1.0, seed: int = 6) -> ExperimentResult:
+    """Regenerate Figure 19's characterisation."""
+    n_points = max(int(_BASE_POINTS * scale), 10_000)
+    dataset = generate_vehicle_h(n_points=n_points, seed=seed)
+    delays = dataset.delays
+    stats = summarize(delays)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    below_period = 100.0 * float(np.mean(delays < H_RESEND_PERIOD_MS))
+    result.add_table(
+        "Delay summary (ms)",
+        ["count", "mean", "p50", "p99", "max", f"% < {H_RESEND_PERIOD_MS:g}"],
+        [[stats.count, stats.mean, stats.median, stats.p99, stats.maximum,
+          below_period]],
+    )
+    ooo = dataset.out_of_order_mask()
+    ooo_percent = 100.0 * float(ooo.mean())
+    mean_ooo_delay_s = (
+        float(delays[ooo].mean()) / 1000.0 if ooo.any() else float("nan")
+    )
+    result.add_table(
+        "Disorder (vs published values)",
+        [
+            "out-of-order %",
+            "paper %",
+            "mean OOO delay (s)",
+            "paper (s)",
+        ],
+        [[ooo_percent, PAPER_OUT_OF_ORDER_PERCENT, mean_ooo_delay_s,
+          PAPER_MEAN_OOO_DELAY_S]],
+    )
+    hist = build_histogram(delays, bins=40)
+    result.charts.append(
+        "Delay histogram (note the mass near the re-send period):\n"
+        + histogram_plot(hist.edges, hist.counts, value_format="{:.3g}")
+    )
+    result.notes.append(
+        "Most delays sit in the sub-second fast path; the buffered-batch "
+        "mode clusters below/at the ~5x10^4 ms re-send period, as the "
+        "paper describes for the real H."
+    )
+    return result

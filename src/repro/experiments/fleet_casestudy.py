@@ -1,0 +1,182 @@
+"""Fleet case study: per-series policy decisions at deployment scale.
+
+Section VI's setting — one database instance, thousands of series, "more
+than one-third of the time-series contain out-of-order data points" —
+implies the interesting operational question the paper's analyzer
+answers per workload: *which* series should separate?  This experiment
+drives a heterogeneous fleet through :class:`repro.TimeSeriesDatabase`
+twice (static pi_c vs per-series auto-tuning) and reports the fleet-wide
+WA saving and the decision breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import SeriesWorkload, allocate_budgets
+from ..distributions import EmpiricalDelay
+from ..lsm import TimeSeriesDatabase
+from ..workloads import generate_fleet
+from .report import ExperimentResult
+
+EXPERIMENT_ID = "fleet"
+TITLE = "Per-series policy tuning across a heterogeneous fleet"
+PAPER_REF = (
+    "Section VI's deployment shape (one instance, many series, >1/3 "
+    "disordered); per-series decisions are this library's extension."
+)
+
+_BASE_SERIES = 24
+_BASE_POINTS = 12_000
+_BUDGET = 256
+
+
+def _drive(fleet, auto_tune: bool, retune_after: int) -> TimeSeriesDatabase:
+    database = TimeSeriesDatabase(
+        memory_budget_per_series=_BUDGET,
+        sstable_size=_BUDGET,
+        auto_tune=auto_tune,
+    )
+    # First epoch: observe; then tune; then the rest of the stream.
+    for name, dataset in fleet.items():
+        head = dataset.head(retune_after)
+        database.write(name, head.tg, head.ta)
+    if auto_tune:
+        database.retune()
+    for name, dataset in fleet.items():
+        tail_tg = dataset.tg[retune_after:]
+        tail_ta = dataset.ta[retune_after:]
+        database.write(name, tail_tg, tail_ta)
+    database.flush_all()
+    return database
+
+
+def _drive_allocated(fleet, retune_after: int) -> TimeSeriesDatabase:
+    """Global-budget variant: profile heads, allocate, then ingest.
+
+    Uses :func:`repro.core.allocate_budgets` to split
+    ``n_series * _BUDGET`` points of buffer memory across the series by
+    marginal WA gain, instead of the uniform per-series default.
+    """
+    workloads = []
+    for name, dataset in fleet.items():
+        head = dataset.head(retune_after)
+        intervals = head.generation_intervals()
+        workloads.append(
+            SeriesWorkload(
+                name=name,
+                delay=EmpiricalDelay(head.delays),
+                dt=float(intervals.mean()),
+                rate=1.0,
+            )
+        )
+    allocations = allocate_budgets(
+        workloads,
+        total_budget=_BUDGET * len(fleet),
+        candidate_budgets=(64, 128, 256, 512, 1024),
+        sstable_size=_BUDGET,
+    )
+    database = TimeSeriesDatabase(
+        memory_budget_per_series=_BUDGET,
+        sstable_size=_BUDGET,
+        auto_tune=False,
+    )
+    for allocation in allocations:
+        database.create_series(
+            allocation.name,
+            memory_budget=allocation.budget,
+            seq_capacity=allocation.seq_capacity,
+        )
+    for name, dataset in fleet.items():
+        database.write(name, dataset.tg, dataset.ta)
+    database.flush_all()
+    return database
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Run the fleet comparison."""
+    n_series = max(int(_BASE_SERIES * scale), 8)
+    points = max(int(_BASE_POINTS * scale), 4_000)
+    fleet = generate_fleet(
+        n_series=n_series,
+        points_per_series=points,
+        disordered_fraction=0.4,
+        seed=seed,
+    )
+    retune_after = max(points // 3, 2048)
+
+    static = _drive(fleet, auto_tune=False, retune_after=retune_after)
+    tuned = _drive(fleet, auto_tune=True, retune_after=retune_after)
+    allocated = _drive_allocated(fleet, retune_after)
+    static_report = static.report()
+    tuned_report = tuned.report()
+    allocated_report = allocated.report()
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    result.add_table(
+        "Fleet-wide outcome",
+        [
+            "configuration",
+            "fleet WA",
+            "series on pi_s",
+            "disordered series",
+        ],
+        [
+            [
+                "static pi_c",
+                static_report.write_amplification,
+                static_report.separated_series,
+                static_report.disordered_series,
+            ],
+            [
+                "per-series auto-tune",
+                tuned_report.write_amplification,
+                tuned_report.separated_series,
+                tuned_report.disordered_series,
+            ],
+            [
+                "auto-tune + global budget allocation",
+                allocated_report.write_amplification,
+                allocated_report.separated_series,
+                allocated_report.disordered_series,
+            ],
+        ],
+    )
+    budgets = {
+        name: allocated.series(name).config.memory_budget
+        for name in allocated.series_names()
+    }
+    result_budget_rows = sorted(
+        budgets.items(), key=lambda item: -item[1]
+    )[:6]
+    worst = tuned_report.rows[:6]
+    result.add_table(
+        "Highest-WA series after tuning (worst 6)",
+        ["series", "policy", "WA"],
+        [list(row) for row in worst],
+    )
+    result.add_table(
+        "Largest allocated buffers (global-budget variant, top 6)",
+        ["series", "allocated budget (points)"],
+        [[name, budget] for name, budget in result_budget_rows],
+    )
+    saving = 100.0 * (
+        1.0
+        - tuned_report.write_amplification
+        / static_report.write_amplification
+    )
+    saving_allocated = 100.0 * (
+        1.0
+        - allocated_report.write_amplification
+        / static_report.write_amplification
+    )
+    result.notes.append(
+        f"{tuned_report.disordered_fraction:.0%} of series are disordered "
+        f"(paper: 'more than one-third'); per-series tuning moves "
+        f"{tuned_report.separated_series}/{n_series} series to pi_s and "
+        f"cuts fleet WA by {saving:.1f}%; re-allocating the same total "
+        f"memory by marginal WA gain cuts it by {saving_allocated:.1f}%."
+    )
+    return result

@@ -1,0 +1,139 @@
+"""Experiment result containers and plain-text rendering.
+
+Every experiment module produces an :class:`ExperimentResult`: the
+tables/series the corresponding paper figure or table reports, rendered
+as aligned text so benchmark runs print the reproduced rows directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ExperimentError
+
+__all__ = ["ResultTable", "ExperimentResult", "format_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Align ``rows`` under ``headers`` with a separator line."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered)) if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class ResultTable:
+    """One captioned table of an experiment's output."""
+
+    caption: str
+    headers: list[str]
+    rows: list[list]
+
+    def render(self) -> str:
+        """Caption plus the aligned table body."""
+        return f"{self.caption}\n{format_table(self.headers, self.rows)}"
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            index = self.headers.index(name)
+        except ValueError as exc:
+            raise ExperimentError(
+                f"no column {name!r} in {self.headers}"
+            ) from exc
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment reproduces, ready to print."""
+
+    experiment_id: str
+    title: str
+    #: What the paper reports in this figure/table.
+    paper_reference: str
+    tables: list[ResultTable] = field(default_factory=list)
+    #: Free-form observations (model-vs-measured commentary, caveats).
+    notes: list[str] = field(default_factory=list)
+    #: Pre-rendered ASCII charts appended after the tables.
+    charts: list[str] = field(default_factory=list)
+
+    def add_table(self, caption: str, headers: list[str], rows: list[list]) -> None:
+        """Append one captioned table to the result."""
+        self.tables.append(ResultTable(caption=caption, headers=headers, rows=rows))
+
+    def table(self, caption_prefix: str) -> ResultTable:
+        """First table whose caption starts with ``caption_prefix``."""
+        for table in self.tables:
+            if table.caption.startswith(caption_prefix):
+                return table
+        raise ExperimentError(
+            f"{self.experiment_id}: no table with caption prefix "
+            f"{caption_prefix!r}"
+        )
+
+    def render(self) -> str:
+        """Full plain-text report: header, tables, charts, notes."""
+        parts = [f"== {self.experiment_id}: {self.title}", self.paper_reference]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        for chart in self.charts:
+            parts.append("")
+            parts.append(chart)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def save_csv(self, directory: str | Path) -> list[Path]:
+        """Write one CSV per table into ``directory`` for external analysis.
+
+        File names are ``<experiment_id>__<slugified caption>.csv``;
+        returns the written paths.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for table in self.tables:
+            slug = re.sub(r"[^a-z0-9]+", "-", table.caption.lower()).strip("-")
+            slug = slug[:60] or "table"
+            path = directory / f"{self.experiment_id}__{slug}.csv"
+            with path.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(table.headers)
+                writer.writerows(table.rows)
+            written.append(path)
+        return written

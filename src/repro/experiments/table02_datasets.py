@@ -1,0 +1,63 @@
+"""Table II: the synthetic dataset catalog and its disorder profile.
+
+Reproduces the parameter table and augments it with each dataset's
+realised disorder statistics (out-of-order fraction, mean delay), which
+Section V-B reads off qualitatively ("a greater dt would reduce the
+intensity of disorder", "increasing mu would intensify WA", ...).
+"""
+
+from __future__ import annotations
+
+from ..workloads import TABLE_II
+from .report import ExperimentResult
+
+EXPERIMENT_ID = "table02"
+TITLE = "Synthetic dataset parameters M1-M12 with realised disorder"
+PAPER_REF = (
+    "Table II — parameters for the synthetic datasets (grid inferred "
+    "from Section V-B's comparisons; see repro.workloads.catalog)."
+)
+
+_BASE_POINTS = 40_000
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table II plus per-dataset disorder statistics."""
+    n_points = max(int(_BASE_POINTS * scale), 2_000)
+    rows = []
+    for name, spec in TABLE_II.items():
+        dataset = spec.build(n_points=n_points, seed=seed)
+        delays = dataset.delays
+        rows.append(
+            [
+                name,
+                spec.dt,
+                spec.mu,
+                spec.sigma,
+                float(delays.mean()),
+                float(spec.delay_distribution().mean()),
+                100.0 * dataset.out_of_order_fraction(),
+            ]
+        )
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, paper_reference=PAPER_REF
+    )
+    result.add_table(
+        "Table II parameters + realised statistics",
+        [
+            "dataset",
+            "dt",
+            "mu",
+            "sigma",
+            "mean delay (sample)",
+            "mean delay (law)",
+            "out-of-order %",
+        ],
+        rows,
+    )
+    result.notes.append(
+        "Within each dt block disorder grows with mu and sigma; the dt=10 "
+        "block is uniformly more disordered than dt=50 — the gradients "
+        "Section V-B builds its WA comparisons on."
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Leveled LSM-tree storage simulator with exact write accounting.
+
+This is the substrate the paper's experiments ran on: a leveled LSM-tree
+for time-series points keyed by generation time, with per-point write
+counters ("a prototype system that records the writing times of each
+point", Section III).  Engines:
+
+* :class:`ConventionalEngine` — ``pi_c``: one MemTable, leveled merges.
+* :class:`SeparationEngine` — ``pi_s(n_seq)``: in-order/out-of-order
+  MemTables; flush-only for ``C_seq``, merge on full ``C_nonseq``.
+* :class:`AdaptiveEngine` — ``pi_adaptive``: analyzer-driven switching.
+* :class:`IoTDBStyleEngine` — the deployed two-level variant with
+  overlapping L1 flush files and background compaction (throughput and
+  query experiments).
+* :class:`MultiLevelEngine` — textbook size-ratio-``T`` leveling, the
+  general-WA baseline contrasted in Section VII-A.
+"""
+
+from .adaptive import AdaptiveEngine
+from .base import LsmEngine, MemTableView, Snapshot
+from .compaction import merge_tables_with_batch
+from .conventional import ConventionalEngine
+from .database import FleetReport, SeriesState, TimeSeriesDatabase
+from .iotdb_style import IoTDBStyleEngine
+from .level import Run
+from .memtable import MemTable
+from .multilevel import MultiLevelEngine
+from .points import PointBatch, sort_by_generation
+from .separation import SeparationEngine
+from .sstable import SSTable, build_sstables
+from .tiered import TieredEngine
+from .wa_tracker import CompactionEvent, WriteStats
+
+__all__ = [
+    "LsmEngine",
+    "Snapshot",
+    "MemTableView",
+    "ConventionalEngine",
+    "SeparationEngine",
+    "AdaptiveEngine",
+    "IoTDBStyleEngine",
+    "MultiLevelEngine",
+    "TieredEngine",
+    "TimeSeriesDatabase",
+    "SeriesState",
+    "FleetReport",
+    "Run",
+    "MemTable",
+    "SSTable",
+    "build_sstables",
+    "PointBatch",
+    "sort_by_generation",
+    "merge_tables_with_batch",
+    "CompactionEvent",
+    "WriteStats",
+]

@@ -1,0 +1,169 @@
+"""``pi_adaptive``: analyzer-driven policy switching at runtime.
+
+Reproduces the auto-tuning program of Section V-B: "We used pi_c to
+initialize the system, which then continuously collected delays when
+writing.  If it finds that the distribution of delays changes, it would
+trigger the Separation Policy Tuning Algorithm (Algorithm 1) to update
+the policy."
+
+The engine wraps a live :class:`ConventionalEngine` or
+:class:`SeparationEngine`; on a switch the current buffers are flushed,
+the on-disk run and the write statistics carry over, and ingestion
+continues under the new policy.  Because the analyzer needs delays, this
+engine ingests *(generation, arrival)* pairs rather than bare generation
+times.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from ..config import LsmConfig
+from ..core.analyzer import DelayAnalyzer
+from ..core.tuning import SEPARATION, PolicyDecision
+from ..errors import EngineError
+from .base import Snapshot
+from .conventional import ConventionalEngine
+from .separation import SeparationEngine
+from .wa_tracker import WriteStats
+
+__all__ = ["AdaptiveEngine"]
+
+logger = logging.getLogger(__name__)
+
+
+class AdaptiveEngine:
+    """LSM engine that re-tunes its buffering policy as delays drift."""
+
+    policy_name = "pi_adaptive"
+
+    def __init__(
+        self,
+        config: LsmConfig | None = None,
+        analyzer: DelayAnalyzer | None = None,
+        check_interval: int = 8192,
+        min_seq_change: float = 0.05,
+    ) -> None:
+        if check_interval < 1:
+            raise EngineError(f"check_interval must be >= 1, got {check_interval}")
+        self.config = config if config is not None else LsmConfig()
+        self.stats = WriteStats()
+        self.analyzer = (
+            analyzer
+            if analyzer is not None
+            else DelayAnalyzer(
+                self.config.memory_budget,
+                sstable_size=self.config.sstable_size,
+            )
+        )
+        self.check_interval = check_interval
+        self.min_seq_change = min_seq_change
+        self._engine: ConventionalEngine | SeparationEngine = ConventionalEngine(
+            self.config, stats=self.stats
+        )
+        self._since_check = 0
+        #: ``(arrival_index, PolicyDecision)`` for every retune performed.
+        self.decision_log: list[tuple[int, PolicyDecision]] = []
+        #: ``(arrival_index, policy_label)`` for every actual switch.
+        self.switch_log: list[tuple[int, str]] = []
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest(self, tg: np.ndarray, ta: np.ndarray) -> None:
+        """Feed aligned generation/arrival timestamp batches (arrival order)."""
+        tg = np.ascontiguousarray(tg, dtype=np.float64)
+        ta = np.ascontiguousarray(ta, dtype=np.float64)
+        if tg.shape != ta.shape:
+            raise EngineError(f"tg and ta must align: {tg.shape} vs {ta.shape}")
+        pos = 0
+        while pos < tg.size:
+            take = min(self.check_interval - self._since_check, tg.size - pos)
+            chunk_tg = tg[pos : pos + take]
+            chunk_ta = ta[pos : pos + take]
+            self.analyzer.observe(chunk_tg, chunk_ta)
+            self._engine.ingest(chunk_tg)
+            self._since_check += take
+            pos += take
+            if self._since_check >= self.check_interval:
+                self._since_check = 0
+                self._maybe_retune()
+
+    def flush_all(self) -> None:
+        """Persist any buffered points."""
+        self._engine.flush_all()
+
+    # -- retuning ---------------------------------------------------------------
+
+    def _maybe_retune(self) -> None:
+        if not self.analyzer.should_retune():
+            return
+        decision = self.analyzer.recommend()
+        self.decision_log.append((self.ingested_points, decision))
+        if self._needs_switch(decision):
+            self._switch(decision)
+
+    def _needs_switch(self, decision: PolicyDecision) -> bool:
+        current_is_separation = isinstance(self._engine, SeparationEngine)
+        if (decision.policy == SEPARATION) != current_is_separation:
+            return True
+        if not current_is_separation:
+            return False
+        current = self._engine.seq_capacity
+        target = decision.seq_capacity
+        return abs(target - current) > self.min_seq_change * self.config.memory_budget
+
+    def _switch(self, decision: PolicyDecision) -> None:
+        old = self._engine
+        old.flush_all()
+        if decision.policy == SEPARATION:
+            config = self.config.with_seq_capacity(decision.seq_capacity)
+            self._engine = SeparationEngine(
+                config,
+                stats=self.stats,
+                run=old.run,
+                start_id=old.ingested_points,
+            )
+        else:
+            self._engine = ConventionalEngine(
+                self.config,
+                stats=self.stats,
+                run=old.run,
+                start_id=old.ingested_points,
+            )
+        logger.info(
+            "pi_adaptive switch at arrival %d: -> %s",
+            old.ingested_points,
+            self.current_policy,
+        )
+        self.switch_log.append((old.ingested_points, self.current_policy))
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def current_policy(self) -> str:
+        """Label of the policy currently in force."""
+        if isinstance(self._engine, SeparationEngine):
+            return f"pi_s(n_seq={self._engine.seq_capacity})"
+        return "pi_c"
+
+    @property
+    def ingested_points(self) -> int:
+        """Total points ingested across all policies."""
+        return self._engine.ingested_points
+
+    @property
+    def write_amplification(self) -> float:
+        """Measured WA over the whole run (all policies combined)."""
+        return self.stats.write_amplification
+
+    def snapshot(self) -> Snapshot:
+        """Read view of the active engine."""
+        return self._engine.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveEngine(current={self.current_policy}, "
+            f"ingested={self.ingested_points}, switches={len(self.switch_log)})"
+        )

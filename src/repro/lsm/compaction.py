@@ -1,0 +1,31 @@
+"""Leveled-compaction merge primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .points import sort_by_generation
+from .sstable import SSTable
+
+__all__ = ["merge_tables_with_batch"]
+
+
+def merge_tables_with_batch(
+    tables: list[SSTable],
+    batch_tg: np.ndarray,
+    batch_ids: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge on-disk tables with an in-memory batch into sorted arrays.
+
+    All inputs are individually sorted by generation time; the output is
+    their union, sorted.  A stable concatenate-then-sort is used: numpy's
+    mergesort on mostly-sorted input is effectively a multiway merge and
+    far faster than a Python heap.
+    """
+    parts_tg = [t.tg for t in tables]
+    parts_ids = [t.ids for t in tables]
+    parts_tg.append(batch_tg)
+    parts_ids.append(batch_ids)
+    tg = np.concatenate(parts_tg)
+    ids = np.concatenate(parts_ids)
+    return sort_by_generation(tg, ids)

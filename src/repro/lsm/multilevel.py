@@ -1,0 +1,121 @@
+"""A generic multi-level leveled LSM-tree with size ratio ``T``.
+
+Section VII-A contrasts the paper's workload-aware WA models with the
+classical general bound ``O(T * L / B)`` for leveled LSM-trees (Luo &
+Carey's survey).  This engine implements that textbook shape — level
+``i`` holds up to ``n * T**i`` points and spills into level ``i+1`` when
+full — so the ablation benchmarks can show why the general bound "is not
+acute enough to detect the difference between pi_c and pi_s".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import LsmConfig
+from ..errors import EngineError
+from .base import LsmEngine, MemTableView, Snapshot
+from .compaction import merge_tables_with_batch
+from .level import Run
+from .memtable import MemTable
+from .sstable import build_sstables
+from .wa_tracker import CompactionEvent, WriteStats
+
+__all__ = ["MultiLevelEngine"]
+
+
+class MultiLevelEngine(LsmEngine):
+    """Leveled LSM with ``max_levels`` levels and capacity ratio ``T``."""
+
+    policy_name = "leveled_T"
+
+    def __init__(
+        self,
+        config: LsmConfig | None = None,
+        size_ratio: int = 10,
+        max_levels: int = 6,
+        stats: WriteStats | None = None,
+    ) -> None:
+        super().__init__(config if config is not None else LsmConfig(), stats)
+        if size_ratio < 2:
+            raise EngineError(f"size_ratio must be >= 2, got {size_ratio}")
+        if max_levels < 1:
+            raise EngineError(f"max_levels must be >= 1, got {max_levels}")
+        self.size_ratio = size_ratio
+        self.max_levels = max_levels
+        self.levels: list[Run] = [Run() for _ in range(max_levels)]
+        self._memtable = MemTable(self.config.memory_budget, name="C0")
+
+    def level_capacity(self, level: int) -> int:
+        """Maximum points level ``level`` may hold before spilling."""
+        return self.config.memory_budget * self.size_ratio ** (level + 1)
+
+    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        pos = 0
+        total = tg.size
+        while pos < total:
+            take = min(self._memtable.room, total - pos)
+            self._memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
+            pos += take
+            self._arrival_cursor = int(ids[pos - 1]) + 1
+            if self._memtable.full:
+                self._flush_into_level(0)
+                self._cascade()
+
+    def flush_all(self) -> None:
+        if not self._memtable.empty:
+            self._flush_into_level(0)
+            self._cascade()
+
+    def _flush_into_level(self, level: int) -> None:
+        mem_tg, mem_ids = self._memtable.drain()
+        self._merge_batch_into_level(level, mem_tg, mem_ids, new_points=mem_tg.size)
+
+    def _cascade(self) -> None:
+        """Spill each over-capacity level into the next."""
+        for level in range(self.max_levels - 1):
+            run = self.levels[level]
+            if run.total_points <= self.level_capacity(level):
+                continue
+            tables = run.clear()
+            if not tables:
+                continue
+            tg = np.concatenate([t.tg for t in tables])
+            ids = np.concatenate([t.ids for t in tables])
+            order = np.argsort(tg, kind="stable")
+            self._merge_batch_into_level(
+                level + 1, tg[order], ids[order], new_points=0
+            )
+
+    def _merge_batch_into_level(
+        self, level: int, tg: np.ndarray, ids: np.ndarray, new_points: int
+    ) -> None:
+        run = self.levels[level]
+        lo, hi = float(tg[0]), float(tg[-1])
+        region = run.overlap_slice(lo, hi)
+        victims = run.tables[region]
+        merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+        new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
+        run.replace(region, new_tables)
+        self.stats.record_written(merged_ids)
+        self.stats.record_event(
+            CompactionEvent(
+                kind="merge" if victims or new_points == 0 else "flush",
+                arrival_index=self.processed_points,
+                new_points=int(new_points),
+                rewritten_points=int(merged_ids.size - new_points),
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+        )
+
+    def snapshot(self) -> Snapshot:
+        tables = [t for run in self.levels for t in run.tables]
+        views = []
+        if not self._memtable.empty:
+            views.append(MemTableView(
+                name="C0",
+                tg=self._memtable.peek_tg(),
+                ids=self._memtable.peek_ids(),
+            ))
+        return Snapshot(tables=tables, memtables=views)

@@ -1,0 +1,86 @@
+"""Immutable SSTables: sorted, bounded slabs of points on simulated disk."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..errors import EngineError
+from .points import PointBatch
+
+__all__ = ["SSTable", "build_sstables"]
+
+_SEQUENCE = itertools.count()
+
+
+class SSTable:
+    """An immutable sorted slab of points with a generation-time range.
+
+    Entries within an SSTable "are sorted by the generation time"
+    (Section I-A).  Instances are identified by a monotonically
+    increasing sequence number so query-layer bookkeeping (files touched,
+    seeks) can distinguish physical files.
+    """
+
+    __slots__ = ("tg", "ids", "table_id")
+
+    def __init__(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        if tg.size == 0:
+            raise EngineError("an SSTable cannot be empty")
+        if tg.shape != ids.shape:
+            raise EngineError(
+                f"tg and ids must align: {tg.shape} vs {ids.shape}"
+            )
+        if tg.size > 1 and np.any(np.diff(tg) < 0):
+            raise EngineError("SSTable points must be sorted by generation time")
+        self.tg = tg
+        self.ids = ids
+        self.table_id = next(_SEQUENCE)
+
+    def __len__(self) -> int:
+        return int(self.tg.size)
+
+    @property
+    def min_tg(self) -> float:
+        """Earliest generation time in the table."""
+        return float(self.tg[0])
+
+    @property
+    def max_tg(self) -> float:
+        """Latest generation time in the table."""
+        return float(self.tg[-1])
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        """True when the table's range intersects ``[lo, hi]``."""
+        return self.min_tg <= hi and self.max_tg >= lo
+
+    def count_in_range(self, lo: float, hi: float) -> int:
+        """Number of points with ``lo <= tg <= hi`` (binary search)."""
+        left = int(np.searchsorted(self.tg, lo, side="left"))
+        right = int(np.searchsorted(self.tg, hi, side="right"))
+        return max(right - left, 0)
+
+    def as_batch(self) -> PointBatch:
+        """View the table contents as a batch."""
+        return PointBatch(tg=self.tg, ids=self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SSTable(id={self.table_id}, n={len(self)}, "
+            f"range=[{self.min_tg:g}, {self.max_tg:g}])"
+        )
+
+
+def build_sstables(
+    tg: np.ndarray, ids: np.ndarray, sstable_size: int
+) -> list[SSTable]:
+    """Split sorted ``(tg, ids)`` arrays into SSTables of at most
+    ``sstable_size`` points each (the last one may be smaller)."""
+    if sstable_size < 1:
+        raise EngineError(f"sstable_size must be >= 1, got {sstable_size}")
+    tables = []
+    for start in range(0, tg.size, sstable_size):
+        stop = start + sstable_size
+        tables.append(SSTable(tg=tg[start:stop], ids=ids[start:stop]))
+    return tables

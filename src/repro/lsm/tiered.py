@@ -1,0 +1,139 @@
+"""Tiered compaction: the classic low-WA / high-read-cost alternative.
+
+Section VII-A cites Luo & Carey's survey, whose canonical WA-reduction
+technique is *tiering*: each level holds up to ``T`` overlapping runs;
+when full, they are merged into a single run one level down, so data is
+rewritten once per level instead of once per overlapping flush.  The
+paper's policies are both *leveling* variants; this engine provides the
+tiering end of the spectrum so the ablation benchmarks can place pi_c /
+pi_s on the read/write trade-off curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import LsmConfig
+from ..errors import EngineError
+from .base import LsmEngine, MemTableView, Snapshot
+from .memtable import MemTable
+from .points import sort_by_generation
+from .sstable import SSTable, build_sstables
+from .wa_tracker import CompactionEvent, WriteStats
+
+__all__ = ["TieredEngine"]
+
+
+class TieredEngine(LsmEngine):
+    """Tiered LSM: up to ``tier_fanout`` overlapping runs per level."""
+
+    policy_name = "tiered_T"
+
+    def __init__(
+        self,
+        config: LsmConfig | None = None,
+        tier_fanout: int = 4,
+        max_levels: int = 8,
+        stats: WriteStats | None = None,
+    ) -> None:
+        super().__init__(config if config is not None else LsmConfig(), stats)
+        if tier_fanout < 2:
+            raise EngineError(f"tier_fanout must be >= 2, got {tier_fanout}")
+        if max_levels < 1:
+            raise EngineError(f"max_levels must be >= 1, got {max_levels}")
+        self.tier_fanout = tier_fanout
+        self.max_levels = max_levels
+        #: ``levels[i]`` is a list of *runs*; each run is a list of
+        #: internally sorted, non-overlapping SSTables, but runs overlap
+        #: each other freely.
+        self.levels: list[list[list[SSTable]]] = [[] for _ in range(max_levels)]
+        self._memtable = MemTable(self.config.memory_budget, name="C0")
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        pos = 0
+        total = tg.size
+        while pos < total:
+            take = min(self._memtable.room, total - pos)
+            self._memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
+            pos += take
+            self._arrival_cursor = int(ids[pos - 1]) + 1
+            if self._memtable.full:
+                self._flush_memtable()
+
+    def flush_all(self) -> None:
+        if not self._memtable.empty:
+            self._flush_memtable()
+
+    def _flush_memtable(self) -> None:
+        """Sort the MemTable into a new level-0 run (never a merge)."""
+        tg, ids = self._memtable.drain()
+        run = build_sstables(tg, ids, self.config.sstable_size)
+        self.levels[0].append(run)
+        self.stats.record_written(ids)
+        self.stats.record_event(
+            CompactionEvent(
+                kind="flush",
+                arrival_index=self.processed_points,
+                new_points=int(tg.size),
+                rewritten_points=0,
+                tables_rewritten=0,
+                tables_written=len(run),
+            )
+        )
+        self._maybe_merge_tier(0)
+
+    def _maybe_merge_tier(self, level: int) -> None:
+        """Merge a full tier of runs into one run on the next level."""
+        while (
+            level < self.max_levels - 1
+            and len(self.levels[level]) >= self.tier_fanout
+        ):
+            runs = self.levels[level]
+            self.levels[level] = []
+            tables = [table for run in runs for table in run]
+            tg = np.concatenate([t.tg for t in tables])
+            ids = np.concatenate([t.ids for t in tables])
+            tg, ids = sort_by_generation(tg, ids)
+            merged = build_sstables(tg, ids, self.config.sstable_size)
+            self.levels[level + 1].append(merged)
+            self.stats.record_written(ids)
+            self.stats.record_event(
+                CompactionEvent(
+                    kind="merge",
+                    arrival_index=self.processed_points,
+                    new_points=0,
+                    rewritten_points=int(ids.size),
+                    tables_rewritten=len(tables),
+                    tables_written=len(merged),
+                )
+            )
+            level += 1
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def run_count(self) -> int:
+        """Total number of (mutually overlapping) runs across all levels.
+
+        This is the read-cost driver: a point lookup or range scan must
+        consult every run.
+        """
+        return sum(len(level) for level in self.levels)
+
+    def snapshot(self) -> Snapshot:
+        tables = [
+            table
+            for level in self.levels
+            for run in level
+            for table in run
+        ]
+        views = []
+        if not self._memtable.empty:
+            views.append(MemTableView(
+                name="C0",
+                tg=self._memtable.peek_tg(),
+                ids=self._memtable.peek_ids(),
+            ))
+        return Snapshot(tables=tables, memtables=views)

@@ -1,0 +1,108 @@
+"""Aggregate queries over generation-time ranges.
+
+Monitoring dashboards rarely fetch raw points; they ask for ``COUNT``,
+``MIN``/``MAX`` or ``AVG`` over a window.  The LSM layout affects these
+queries the same way it affects scans — overlapping SSTables must all be
+consulted — but aggregates over *generation time* can exploit SSTable
+ordering: a table fully inside the window contributes its point count
+and min/max bounds without reading its interior.
+
+Engines in this package do not materialise values (WA does not depend on
+them), so aggregates are computed over generation timestamps themselves;
+the pruning logic is identical for any per-table summarised value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError
+from ..lsm.base import Snapshot
+
+__all__ = ["AggregateResult", "execute_aggregate_query"]
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """COUNT/MIN/MAX/SUM/AVG of generation times in ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+    count: int
+    minimum: float
+    maximum: float
+    total: float
+    #: Tables whose interiors had to be scanned (straddle the bounds).
+    tables_scanned: int
+    #: Tables answered from their metadata alone (fully inside range).
+    tables_pruned: int
+
+    @property
+    def mean(self) -> float:
+        """Average generation time in range (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.total / self.count
+
+
+def execute_aggregate_query(
+    snapshot: Snapshot, lo: float, hi: float
+) -> AggregateResult:
+    """Aggregate ``lo <= t_g <= hi`` with metadata pruning.
+
+    Tables entirely inside the range contribute without a scan; only
+    boundary-straddling tables (at most two per sorted run) and the
+    MemTables are read point-by-point.
+    """
+    if hi < lo:
+        raise QueryError(f"inverted query range: [{lo}, {hi}]")
+    count = 0
+    minimum = math.inf
+    maximum = -math.inf
+    total = 0.0
+    scanned = 0
+    pruned = 0
+    for table in snapshot.tables:
+        if not table.overlaps(lo, hi):
+            continue
+        if lo <= table.min_tg and table.max_tg <= hi:
+            # Fully covered: metadata + precomputable sum suffice.
+            pruned += 1
+            count += len(table)
+            minimum = min(minimum, table.min_tg)
+            maximum = max(maximum, table.max_tg)
+            total += float(table.tg.sum())
+            continue
+        scanned += 1
+        left = int(np.searchsorted(table.tg, lo, side="left"))
+        right = int(np.searchsorted(table.tg, hi, side="right"))
+        if right > left:
+            inside = table.tg[left:right]
+            count += inside.size
+            minimum = min(minimum, float(inside[0]))
+            maximum = max(maximum, float(inside[-1]))
+            total += float(inside.sum())
+    for memtable in snapshot.memtables:
+        mask = (memtable.tg >= lo) & (memtable.tg <= hi)
+        if np.any(mask):
+            inside = memtable.tg[mask]
+            count += int(inside.size)
+            minimum = min(minimum, float(inside.min()))
+            maximum = max(maximum, float(inside.max()))
+            total += float(inside.sum())
+    if count == 0:
+        minimum = math.nan
+        maximum = math.nan
+    return AggregateResult(
+        lo=lo,
+        hi=hi,
+        count=count,
+        minimum=minimum,
+        maximum=maximum,
+        total=total,
+        tables_scanned=scanned,
+        tables_pruned=pruned,
+    )

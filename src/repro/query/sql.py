@@ -1,0 +1,133 @@
+"""A minimal SQL dialect for time-range queries.
+
+The paper writes its query workloads as SQL::
+
+    SELECT * FROM TS WHERE time > (max_time - window)
+    SELECT * FROM TS WHERE time > rand_value AND time < rand_value + window
+
+This module parses that dialect — ``SELECT`` of ``*`` or a single
+aggregate over one series, with conjunctive ``time`` bounds — and
+executes it against an engine snapshot, so examples and downstream users
+can drive the query layer with the paper's own statements.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT (* | COUNT(*) | MIN(time) | MAX(time) | AVG(time))
+    FROM <identifier>
+    [WHERE time <op> <number> [AND time <op> <number>]]
+
+with ``<op>`` one of ``>``, ``>=``, ``<``, ``<=``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..lsm.base import Snapshot
+from .aggregation import execute_aggregate_query
+from .executor import execute_range_query
+
+__all__ = ["ParsedQuery", "parse_query", "execute_sql"]
+
+_QUERY_RE = re.compile(
+    r"""
+    ^\s*select\s+(?P<select>\*|count\(\*\)|min\(time\)|max\(time\)|avg\(time\))
+    \s+from\s+(?P<series>[a-z_][a-z0-9_.-]*)
+    (?:\s+where\s+(?P<where>.+?))?\s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE,
+)
+
+_CONDITION_RE = re.compile(
+    r"^\s*time\s*(?P<op>>=|<=|>|<)\s*(?P<value>[-+0-9.eE]+)\s*$",
+    re.IGNORECASE,
+)
+
+#: Half-width used to turn strict bounds into closed ones; generation
+#: times in this library are reals, so an epsilon nudge implements the
+#: strict comparison exactly for any realistically spaced data.
+_STRICT_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A validated time-range query."""
+
+    #: ``"*"``, ``"count"``, ``"min"``, ``"max"`` or ``"avg"``.
+    select: str
+    series: str
+    lo: float
+    hi: float
+
+
+def parse_query(sql: str) -> ParsedQuery:
+    """Parse one statement of the supported dialect."""
+    match = _QUERY_RE.match(sql)
+    if match is None:
+        raise QueryError(f"cannot parse query: {sql!r}")
+    select = match.group("select").lower()
+    if select.startswith("count"):
+        select = "count"
+    elif select.startswith("min"):
+        select = "min"
+    elif select.startswith("max"):
+        select = "max"
+    elif select.startswith("avg"):
+        select = "avg"
+    lo, hi = -math.inf, math.inf
+    where = match.group("where")
+    if where is not None:
+        conditions = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+        if len(conditions) > 2:
+            raise QueryError(
+                f"at most two time conditions are supported, got {len(conditions)}"
+            )
+        for condition in conditions:
+            parsed = _CONDITION_RE.match(condition)
+            if parsed is None:
+                raise QueryError(f"cannot parse condition: {condition!r}")
+            op = parsed.group("op")
+            try:
+                value = float(parsed.group("value"))
+            except ValueError as exc:
+                raise QueryError(
+                    f"bad number in condition: {condition!r}"
+                ) from exc
+            if op == ">":
+                lo = max(lo, value + _STRICT_EPS)
+            elif op == ">=":
+                lo = max(lo, value)
+            elif op == "<":
+                hi = min(hi, value - _STRICT_EPS)
+            else:
+                hi = min(hi, value)
+    if hi < lo:
+        raise QueryError(f"contradictory time bounds in: {sql!r}")
+    return ParsedQuery(
+        select=select, series=match.group("series"), lo=lo, hi=hi
+    )
+
+
+def execute_sql(snapshot: Snapshot, sql: str, collect: bool = False):
+    """Parse and run ``sql`` against a snapshot.
+
+    ``SELECT *`` returns :class:`~repro.query.QueryStats` (pass
+    ``collect=True`` for the rows); aggregates return the scalar value.
+    Unbounded sides of the range are clamped to the snapshot extent.
+    """
+    parsed = parse_query(sql)
+    lo = parsed.lo
+    hi = parsed.hi
+    if parsed.select == "*":
+        return execute_range_query(snapshot, lo, hi, collect=collect)
+    result = execute_aggregate_query(snapshot, lo, hi)
+    if parsed.select == "count":
+        return result.count
+    if parsed.select == "min":
+        return result.minimum
+    if parsed.select == "max":
+        return result.maximum
+    return result.mean

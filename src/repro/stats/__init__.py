@@ -1,0 +1,35 @@
+"""Statistics toolkit: ECDFs, histograms, ACF, KS tests, streaming samples.
+
+These are the measurement primitives behind the delay analyzer
+(:mod:`repro.core.analyzer`) and the experiment reports — everything the
+paper attributes to "statistical profile" generation (Section I.D) plus
+the robustness diagnostics of Section V-E (autocorrelation, Figure 16a).
+"""
+
+from .autocorrelation import AcfResult, autocorrelation
+from .ecdf import Ecdf
+from .histogram import Histogram, build_histogram
+from .ks import KsResult, kolmogorov_sf, ks_two_sample
+from .quantile_sketch import GKQuantileSketch
+from .reservoir import ReservoirSampler, SlidingWindowSample
+from .smoothing import ExponentialAverage, sliding_mean, sliding_sum
+from .summary import SeriesSummary, summarize
+
+__all__ = [
+    "AcfResult",
+    "autocorrelation",
+    "Ecdf",
+    "Histogram",
+    "build_histogram",
+    "KsResult",
+    "kolmogorov_sf",
+    "ks_two_sample",
+    "GKQuantileSketch",
+    "ReservoirSampler",
+    "SlidingWindowSample",
+    "ExponentialAverage",
+    "sliding_mean",
+    "sliding_sum",
+    "SeriesSummary",
+    "summarize",
+]

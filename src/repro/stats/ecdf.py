@@ -1,0 +1,44 @@
+"""Empirical cumulative distribution function."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["Ecdf"]
+
+
+class Ecdf:
+    """Right-continuous empirical CDF of a sample.
+
+    A thin, fast wrapper around a sorted copy of the data; evaluation is
+    a binary search, so vectorised calls cost ``O(m log n)``.
+    """
+
+    def __init__(self, samples: np.ndarray) -> None:
+        data = np.asarray(samples, dtype=float).ravel()
+        data = data[np.isfinite(data)]
+        if data.size == 0:
+            raise ReproError("Ecdf needs at least one finite sample")
+        self._sorted = np.sort(data)
+        self._n = data.size
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return self._n
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        arr = np.asarray(x, dtype=float)
+        out = np.searchsorted(self._sorted, arr, side="right") / self._n
+        return float(out) if np.isscalar(x) else out
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+        """Empirical quantile (linear interpolation between order stats)."""
+        out = np.quantile(self._sorted, np.asarray(q, dtype=float))
+        return float(out) if np.isscalar(q) else out
+
+    def support(self) -> tuple[float, float]:
+        """(min, max) of the sample."""
+        return float(self._sorted[0]), float(self._sorted[-1])

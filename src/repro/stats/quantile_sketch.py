@@ -1,0 +1,159 @@
+"""Greenwald–Khanna streaming quantile sketch.
+
+The deployed analyzer watches every ingested point but cannot keep the
+full delay history.  A reservoir gives unbiased *samples*; a GK sketch
+gives deterministic *rank guarantees*: after any number of insertions,
+``quantile(q)`` returns a value whose rank is within ``epsilon * n`` of
+``q * n`` (Greenwald & Khanna, SIGMOD 2001).  That makes long-horizon
+delay CDFs (the model input) reproducible and auditable, with memory
+``O((1/epsilon) * log(epsilon * n))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["GKQuantileSketch"]
+
+
+@dataclass
+class _Tuple:
+    """One GK summary tuple: value, rank gap, and rank uncertainty."""
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSketch:
+    """epsilon-approximate quantiles over a stream of floats."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0 < epsilon < 0.5:
+            raise ReproError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        self.epsilon = epsilon
+        self._tuples: list[_Tuple] = []
+        self._count = 0
+        # Compress every 1/(2*eps) insertions (the classic schedule).
+        self._compress_every = max(int(1.0 / (2.0 * epsilon)), 1)
+        self._since_compress = 0
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert(self, value: float) -> None:
+        """Insert one observation."""
+        value = float(value)
+        if math.isnan(value):
+            raise ReproError("cannot insert NaN into a quantile sketch")
+        threshold = int(2.0 * self.epsilon * self._count)
+        # Find position; new extrema get delta = 0.
+        position = 0
+        while (
+            position < len(self._tuples)
+            and self._tuples[position].value < value
+        ):
+            position += 1
+        if position == 0 or position == len(self._tuples):
+            entry = _Tuple(value=value, g=1, delta=0)
+        else:
+            entry = _Tuple(value=value, g=1, delta=max(threshold - 1, 0))
+        self._tuples.insert(position, entry)
+        self._count += 1
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+            self._since_compress = 0
+
+    def insert_many(self, values: np.ndarray) -> None:
+        """Insert a batch of observations."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.insert(float(value))
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined uncertainty stays legal."""
+        if len(self._tuples) < 3:
+            return
+        threshold = int(2.0 * self.epsilon * self._count)
+        merged: list[_Tuple] = [self._tuples[0]]
+        for current in self._tuples[1:-1]:
+            candidate = merged[-1]
+            if (
+                len(merged) > 1
+                and candidate.g + current.g + current.delta <= threshold
+            ):
+                # Absorb the previous tuple into the current one.
+                current = _Tuple(
+                    value=current.value,
+                    g=candidate.g + current.g,
+                    delta=current.delta,
+                )
+                merged[-1] = current
+            else:
+                merged.append(current)
+        merged.append(self._tuples[-1])
+        self._tuples = merged
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Observations inserted so far."""
+        return self._count
+
+    @property
+    def size(self) -> int:
+        """Summary tuples currently stored (the memory footprint)."""
+        return len(self._tuples)
+
+    def quantile(self, q: float) -> float:
+        """Value whose rank is within ``epsilon * n`` of ``q * n``.
+
+        The extremes are exact: the first and last summary tuples always
+        hold the true minimum and maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile level must be in [0, 1], got {q}")
+        if self._count == 0:
+            raise ReproError("quantile of an empty sketch")
+        if q == 0.0:
+            return self._tuples[0].value
+        if q == 1.0:
+            return self._tuples[-1].value
+        # Classic GK query: report the last tuple whose maximal possible
+        # rank stays within target + margin.
+        target = max(int(math.ceil(q * self._count)), 1)
+        margin = self.epsilon * self._count
+        cumulative = 0
+        previous = self._tuples[0].value
+        for entry in self._tuples:
+            cumulative += entry.g
+            if cumulative + entry.delta > target + margin:
+                return previous
+            previous = entry.value
+        return self._tuples[-1].value
+
+    def quantiles(self, levels: np.ndarray) -> np.ndarray:
+        """Vector convenience wrapper over :meth:`quantile`."""
+        return np.asarray(
+            [self.quantile(float(level)) for level in np.asarray(levels)],
+            dtype=float,
+        )
+
+    def cdf(self, value: float) -> float:
+        """Approximate ``P(X <= value)`` from the summary."""
+        if self._count == 0:
+            raise ReproError("cdf of an empty sketch")
+        rank = 0
+        for entry in self._tuples:
+            if entry.value > value:
+                break
+            rank += entry.g
+        return min(rank / self._count, 1.0)
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,58 @@
+"""Descriptive statistics used in experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["SeriesSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary of a numeric sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def format(self, unit: str = "") -> str:
+        """One-line human-readable rendering."""
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.4g}{suffix} "
+            f"std={self.std:.4g} min={self.minimum:.4g} "
+            f"p50={self.median:.4g} p95={self.p95:.4g} "
+            f"p99={self.p99:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: np.ndarray) -> SeriesSummary:
+    """Summarise the finite entries of ``values``."""
+    data = np.asarray(values, dtype=float).ravel()
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        raise ReproError("cannot summarize an empty sample")
+    quantiles = np.quantile(data, [0.25, 0.5, 0.75, 0.95, 0.99])
+    return SeriesSummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std()),
+        minimum=float(data.min()),
+        p25=float(quantiles[0]),
+        median=float(quantiles[1]),
+        p75=float(quantiles[2]),
+        p95=float(quantiles[3]),
+        p99=float(quantiles[4]),
+        maximum=float(data.max()),
+    )

@@ -1,0 +1,175 @@
+"""Operator command-line tools: decide, analyze, generate.
+
+While ``python -m repro`` regenerates the paper's experiments, this
+module is the *practitioner* surface — what a deployment engineer would
+actually run:
+
+* ``decide``   — run Algorithm 1 for a parametric workload description;
+* ``analyze``  — profile a CSV of (generation, arrival) timestamps with
+  the delay analyzer and recommend a policy;
+* ``generate`` — write a synthetic workload CSV for testing.
+
+Examples::
+
+    python -m repro.tools decide --mu 5 --sigma 2 --dt 50 --budget 512
+    python -m repro.tools analyze mystream.csv --budget 512
+    python -m repro.tools generate out.csv --points 100000 --mu 4 --sigma 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .config import DEFAULT_MEMORY_BUDGET, DEFAULT_SSTABLE_SIZE
+from .core import DelayAnalyzer, tune_separation_policy
+from .distributions import LogNormalDelay
+from .errors import ReproError
+from .workloads import generate_synthetic, load_csv, save_csv
+
+
+def _decision_report(decision, header: str) -> str:
+    lines = [header, f"  {decision.describe()}"]
+    lines.append(
+        f"  predicted WA: pi_c={decision.r_c:.3f}, "
+        f"best pi_s={decision.r_s_star:.3f}"
+    )
+    if decision.policy == "separation":
+        lines.append(
+            f"  provision C_seq={decision.seq_capacity}, "
+            f"C_nonseq={decision.sweep_n_seq.max() + 1 - decision.seq_capacity}"
+        )
+    return "\n".join(lines)
+
+
+def _decision_json(decision) -> str:
+    return json.dumps(
+        {
+            "policy": decision.policy,
+            "seq_capacity": decision.seq_capacity,
+            "r_c": decision.r_c,
+            "r_s_star": decision.r_s_star,
+            "predicted_wa": decision.predicted_wa,
+        }
+    )
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    delay = LogNormalDelay(mu=args.mu, sigma=args.sigma)
+    decision = tune_separation_policy(
+        delay,
+        args.dt,
+        args.budget,
+        sstable_size=args.sstable,
+        exhaustive=args.exhaustive,
+    )
+    if args.json:
+        print(_decision_json(decision))
+        return 0
+    print(
+        _decision_report(
+            decision,
+            f"workload: lognormal(mu={args.mu:g}, sigma={args.sigma:g}) "
+            f"delays, dt={args.dt:g}, budget={args.budget}",
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = load_csv(args.csv)
+    print(dataset.describe())
+    analyzer = DelayAnalyzer(
+        memory_budget=args.budget,
+        window=args.window,
+        sstable_size=args.sstable,
+    )
+    for chunk in dataset.chunks(10_000):
+        analyzer.observe(chunk.tg, chunk.ta)
+    profile = analyzer.profile()
+    print(f"profile: {profile.describe()}")
+    print(f"delays:  {analyzer.delay_summary().format()}")
+    decision = analyzer.recommend(exhaustive=args.exhaustive)
+    print(_decision_report(decision, f"analyzed {len(dataset)} points"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_synthetic(
+        args.points,
+        dt=args.dt,
+        delay=LogNormalDelay(mu=args.mu, sigma=args.sigma),
+        seed=args.seed,
+    )
+    save_csv(dataset, args.csv)
+    print(f"wrote {len(dataset)} points to {args.csv}")
+    print(dataset.describe())
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="Separation-or-not decision tools (ICDE 2022 analyzer)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    decide = sub.add_parser(
+        "decide", help="run Algorithm 1 for a parametric workload"
+    )
+    decide.add_argument("--mu", type=float, required=True,
+                        help="lognormal mu of the delays")
+    decide.add_argument("--sigma", type=float, required=True,
+                        help="lognormal sigma of the delays")
+    decide.add_argument("--dt", type=float, required=True,
+                        help="generation interval")
+    decide.add_argument("--budget", type=int, default=DEFAULT_MEMORY_BUDGET,
+                        help="MemTable budget in points")
+    decide.add_argument("--sstable", type=int, default=DEFAULT_SSTABLE_SIZE,
+                        help="SSTable size in points")
+    decide.add_argument("--exhaustive", action="store_true",
+                        help="sweep every n_seq (slow, literal Algorithm 1)")
+    decide.add_argument("--json", action="store_true",
+                        help="emit the decision as one JSON object")
+    decide.set_defaults(handler=_cmd_decide)
+
+    analyze = sub.add_parser(
+        "analyze", help="profile a CSV of generation,arrival timestamps"
+    )
+    analyze.add_argument("csv", help="input CSV (generation,arrival header)")
+    analyze.add_argument("--budget", type=int, default=DEFAULT_MEMORY_BUDGET)
+    analyze.add_argument("--sstable", type=int, default=DEFAULT_SSTABLE_SIZE)
+    analyze.add_argument("--window", type=int, default=8192,
+                         help="analyzer delay-window size")
+    analyze.add_argument("--exhaustive", action="store_true")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic workload CSV"
+    )
+    generate.add_argument("csv", help="output CSV path")
+    generate.add_argument("--points", type=int, default=100_000)
+    generate.add_argument("--dt", type=float, default=50.0)
+    generate.add_argument("--mu", type=float, default=5.0)
+    generate.add_argument("--sigma", type=float, default=2.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Tools entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Workloads whose delay distribution changes over time (Figures 10, 17).
+
+Figure 10's dataset: "With fixed mu = 5 and dt = 50, the parameter sigma
+was changed from 2, 1.75, 1.5, 1.25 to 1, respectively, for every
+5,000,000 data points."  Generation times form one arithmetic progression
+across all segments; delays are sampled per segment; the stream is then
+globally re-sorted by arrival time, so segment boundaries blur the way
+real drift does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distributions import DelayDistribution, LogNormalDelay
+from ..errors import WorkloadError
+from .dataset import TimeSeriesDataset
+from .synthetic import arrival_order
+
+__all__ = ["DelaySegment", "generate_dynamic", "figure10_segments"]
+
+
+@dataclass(frozen=True)
+class DelaySegment:
+    """A contiguous stretch of points sharing one delay law."""
+
+    n_points: int
+    delay: DelayDistribution
+
+    def __post_init__(self) -> None:
+        if self.n_points < 1:
+            raise WorkloadError(f"segment needs >= 1 point, got {self.n_points}")
+
+
+def figure10_segments(points_per_segment: int) -> list[DelaySegment]:
+    """The five lognormal segments of Figure 10 (sigma 2 -> 1)."""
+    return [
+        DelaySegment(points_per_segment, LogNormalDelay(mu=5.0, sigma=sigma))
+        for sigma in (2.0, 1.75, 1.5, 1.25, 1.0)
+    ]
+
+
+def generate_dynamic(
+    segments: Sequence[DelaySegment],
+    dt: float,
+    seed: int = 0,
+    name: str = "dynamic",
+) -> TimeSeriesDataset:
+    """Generate a dataset whose delay law steps through ``segments``."""
+    if not segments:
+        raise WorkloadError("need at least one segment")
+    if dt <= 0:
+        raise WorkloadError(f"dt must be positive, got {dt}")
+    rng = np.random.default_rng(seed)
+    total = sum(s.n_points for s in segments)
+    tg = dt * np.arange(total, dtype=np.float64)
+    delays = np.empty(total, dtype=np.float64)
+    boundaries = []
+    cursor = 0
+    for segment in segments:
+        stop = cursor + segment.n_points
+        delays[cursor:stop] = segment.delay.sample(segment.n_points, rng)
+        boundaries.append(stop)
+        cursor = stop
+    ta = tg + delays
+    order = arrival_order(tg, ta)
+    return TimeSeriesDataset(
+        name=name,
+        tg=tg[order],
+        ta=ta[order],
+        dt=dt,
+        metadata={
+            "seed": seed,
+            "segments": [
+                {"n_points": s.n_points, "delay": s.delay.name} for s in segments
+            ],
+            "boundaries": boundaries,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Simulated S-9: the mobile-transmission dataset of Weiss et al.
+
+The paper's real S-9 (Section V-A, Figure 8) is data "sent from mobile
+devices (Samsung Galaxy Tab 2) to a server", 30 thousand points, 27
+dimensions (of which one generation-time and one arrival-time column are
+used).  Its published signatures, which this generator reproduces:
+
+* skewed delays — "some data points suffer much longer delays than
+  others" (Figure 8's histogram has a dominant fast mode plus a long
+  tail);
+* about **7.05% out-of-order** points under Definition 3;
+* a **non-constant generation interval** — Figure 18(a) shows the sorted
+  gaps varying significantly from pair to pair.
+
+The raw dataset is not redistributable here, so we synthesise the same
+structure: gamma-distributed generation gaps, and a delay mixture of a
+fast network-jitter component with a heavy-tailed buffered-retransmission
+component whose weight is calibrated to the published out-of-order rate.
+The WA models and engines consume only ``(t_g, t_a)`` pairs, so matching
+these statistics exercises the same code paths as the original data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .dataset import TimeSeriesDataset
+from .synthetic import arrival_order
+
+__all__ = ["generate_s9", "S9_POINTS", "S9_MEMORY_BUDGET"]
+
+#: The real dataset's size ("30 thousand data points").
+S9_POINTS = 30_000
+
+#: "Because of the limited amount of data in S-9, we set the memory
+#: budget to be 8 to trigger merges in experiments." (Section V-A.)
+S9_MEMORY_BUDGET = 8
+
+#: Mean generation gap, milliseconds (order of a sensor push cadence).
+_GAP_MEAN_MS = 200.0
+#: Fraction of points taking the buffered (heavy-delay) path; calibrated
+#: so ~7% of points are out-of-order like the original S-9.
+_HEAVY_WEIGHT = 0.05
+
+
+def generate_s9(
+    n_points: int = S9_POINTS,
+    seed: int = 9,
+    heavy_weight: float = _HEAVY_WEIGHT,
+) -> TimeSeriesDataset:
+    """Generate the simulated S-9 dataset.
+
+    ``heavy_weight`` is the probability a point takes the slow
+    (buffered/retransmitted) path; the default reproduces the original's
+    ~7% out-of-order rate.
+    """
+    if n_points < 2:
+        raise WorkloadError(f"n_points must be >= 2, got {n_points}")
+    if not 0 <= heavy_weight <= 1:
+        raise WorkloadError(f"heavy_weight must be in [0, 1], got {heavy_weight}")
+    rng = np.random.default_rng(seed)
+    # Irregular generation cadence: gamma gaps (cv ~ 0.7).
+    gaps = rng.gamma(shape=2.0, scale=_GAP_MEAN_MS / 2.0, size=n_points - 1)
+    tg = np.concatenate(([0.0], np.cumsum(gaps)))
+    # Fast path: tens of milliseconds of network jitter.
+    delays = rng.lognormal(mean=np.log(35.0), sigma=0.6, size=n_points)
+    # Slow path: buffered on the device, shipped (many) seconds later —
+    # the heavy skew that makes out-of-order points share subsequent
+    # points and pi_s win on this dataset (Section V-B's Figure 11).
+    heavy = rng.random(n_points) < heavy_weight
+    delays[heavy] = rng.lognormal(
+        mean=np.log(4000.0), sigma=1.3, size=int(heavy.sum())
+    )
+    ta = tg + delays
+    order = arrival_order(tg, ta)
+    return TimeSeriesDataset(
+        name="S-9(simulated)",
+        tg=tg[order],
+        ta=ta[order],
+        dt=None,
+        metadata={
+            "seed": seed,
+            "heavy_weight": heavy_weight,
+            "gap_mean_ms": _GAP_MEAN_MS,
+            "substitution": (
+                "synthetic stand-in for the Weiss et al. S-9 dataset; "
+                "see module docstring"
+            ),
+        },
+    )

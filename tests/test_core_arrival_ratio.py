@@ -1,0 +1,100 @@
+"""Tests for the arrival-ratio model (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro import ConstantDelay, ExponentialDelay, LogNormalDelay, UniformDelay
+from repro.core import InOrderCurve, expected_in_order, g_out_of_order
+from repro.errors import ModelError
+
+
+class TestExpectedInOrder:
+    def test_zero_arrivals(self):
+        assert expected_in_order(ExponentialDelay(10.0), 50.0, 0) == 0.0
+
+    def test_matches_direct_sum(self):
+        dist = LogNormalDelay(4.0, 1.5)
+        dt = 50.0
+        direct = float(
+            np.sum(dist.cdf(dt * np.arange(1, 101, dtype=float)))
+        )
+        assert expected_in_order(dist, dt, 100) == pytest.approx(direct)
+
+    def test_monotone_in_alpha(self):
+        curve = InOrderCurve(ExponentialDelay(100.0), 10.0)
+        values = [curve.expected_in_order(a) for a in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_tiny_delays_make_everything_in_order(self):
+        # Delays far below dt: every arrival is in order.
+        assert expected_in_order(
+            ConstantDelay(0.0), 50.0, 100
+        ) == pytest.approx(100.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            InOrderCurve(ExponentialDelay(1.0), 0.0)
+        with pytest.raises(ModelError):
+            InOrderCurve(ExponentialDelay(1.0), 1.0).expected_in_order(-1)
+
+
+class TestG:
+    def test_zero_for_ordered_workload(self):
+        assert g_out_of_order(ConstantDelay(0.0), 50.0, 100) == 0.0
+
+    def test_positive_under_disorder(self):
+        g = g_out_of_order(LogNormalDelay(5.0, 2.0), 50.0, 256)
+        assert g > 1.0
+
+    def test_grows_with_delay_scale(self):
+        mild = g_out_of_order(LogNormalDelay(4.0, 1.5), 50.0, 256)
+        severe = g_out_of_order(LogNormalDelay(5.0, 2.0), 50.0, 256)
+        assert severe > mild
+
+    def test_shrinks_with_dt(self):
+        dist = LogNormalDelay(5.0, 2.0)
+        dense = g_out_of_order(dist, 10.0, 256)
+        sparse = g_out_of_order(dist, 100.0, 256)
+        assert dense > sparse
+
+    def test_inversion_consistency(self):
+        # alpha arrivals should produce the in-order count that inverts
+        # back to (approximately) alpha.
+        curve = InOrderCurve(LogNormalDelay(4.0, 1.5), 50.0)
+        in_order = curve.expected_in_order(500)
+        assert curve.arrivals_for_in_order(in_order) == pytest.approx(500, abs=1.01)
+
+    def test_matches_monte_carlo(self):
+        """g(n_seq) tracks a direct simulation of the defining process."""
+        dist = LogNormalDelay(4.0, 1.5)
+        dt = 50.0
+        n_seq = 64
+        rng = np.random.default_rng(17)
+        trials = []
+        for _ in range(200):
+            in_order = 0
+            out_of_order = 0
+            i = 0
+            while in_order < n_seq:
+                i += 1
+                # Arrival i is in-order iff its implied delay < i*dt.
+                if rng.random() < float(dist.cdf(i * dt)):
+                    in_order += 1
+                else:
+                    out_of_order += 1
+            trials.append(out_of_order)
+        simulated = float(np.mean(trials))
+        model = g_out_of_order(dist, dt, n_seq)
+        assert model == pytest.approx(simulated, rel=0.15)
+
+    def test_constant_delay_threshold(self):
+        # Constant delay of 3.5*dt: the first 3 arrivals after a flush
+        # are out-of-order, the rest in order.
+        curve = InOrderCurve(ConstantDelay(175.0), 50.0)
+        assert curve.expected_in_order(3) == 0.0
+        assert curve.expected_in_order(10) == pytest.approx(7.0)
+
+    def test_bounded_uniform(self):
+        # Uniform delays below dt never cause disorder.
+        assert g_out_of_order(UniformDelay(0.0, 40.0), 50.0, 128) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for Algorithm 1 (tune_separation_policy)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LogNormalDelay,
+    UniformDelay,
+    tune_separation_policy,
+)
+from repro.core import CONVENTIONAL, SEPARATION
+from repro.errors import ModelError
+
+
+class TestPolicyDecision:
+    def test_severe_disorder_chooses_separation(self):
+        decision = tune_separation_policy(
+            LogNormalDelay(5.0, 2.0), 50.0, 512, sstable_size=512
+        )
+        assert decision.policy == SEPARATION
+        assert decision.seq_capacity is not None
+        assert 1 <= decision.seq_capacity <= 511
+        assert decision.r_s_star < decision.r_c
+        assert decision.predicted_wa == decision.r_s_star
+
+    def test_ordered_workload_chooses_conventional(self):
+        decision = tune_separation_policy(
+            UniformDelay(0.0, 20.0), 50.0, 512, sstable_size=512
+        )
+        assert decision.policy == CONVENTIONAL
+        assert decision.seq_capacity is None
+        assert decision.r_c == pytest.approx(1.0)
+        assert decision.predicted_wa == decision.r_c
+
+    def test_sweep_is_recorded(self):
+        decision = tune_separation_policy(LogNormalDelay(5.0, 2.0), 50.0, 128)
+        assert decision.sweep_n_seq.size == decision.sweep_r_s.size
+        assert decision.sweep_n_seq.size >= 8
+        assert np.all(decision.sweep_n_seq >= 1)
+        assert np.all(decision.sweep_n_seq <= 127)
+        assert decision.r_s_star == pytest.approx(float(decision.sweep_r_s.min()))
+
+    def test_exhaustive_covers_every_capacity(self):
+        decision = tune_separation_policy(
+            LogNormalDelay(5.0, 2.0), 50.0, 32, exhaustive=True
+        )
+        assert list(decision.sweep_n_seq) == list(range(1, 32))
+
+    def test_refined_search_close_to_exhaustive(self):
+        dist = LogNormalDelay(5.0, 2.0)
+        exhaustive = tune_separation_policy(dist, 50.0, 64, exhaustive=True)
+        refined = tune_separation_policy(dist, 50.0, 64)
+        assert refined.r_s_star == pytest.approx(
+            exhaustive.r_s_star, rel=0.02
+        )
+
+    def test_describe_mentions_policy(self):
+        decision = tune_separation_policy(LogNormalDelay(5.0, 2.0), 50.0, 128)
+        assert "pi_" in decision.describe()
+
+    def test_granularity_correction_changes_marginal_calls(self):
+        # M3-like workload: raw Eq. 3 under-predicts pi_c and picks it;
+        # with the engine's real granularity padding pi_s wins.
+        dist = LogNormalDelay(4.0, 2.0)
+        raw = tune_separation_policy(dist, 50.0, 512)
+        corrected = tune_separation_policy(dist, 50.0, 512, sstable_size=512)
+        assert corrected.r_c > raw.r_c
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ModelError):
+            tune_separation_policy(LogNormalDelay(4, 1.5), 50.0, 1)

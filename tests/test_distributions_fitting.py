@@ -1,0 +1,106 @@
+"""Tests for distribution fitting and model selection."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EmpiricalDelay,
+    ExponentialDelay,
+    FittingError,
+    GammaDelay,
+    HalfNormalDelay,
+    LogNormalDelay,
+    UniformDelay,
+    fit_best,
+)
+from repro.distributions import (
+    fit_exponential,
+    fit_gamma,
+    fit_halfnormal,
+    fit_lognormal,
+    fit_uniform,
+    ks_distance,
+)
+
+
+class TestIndividualFitters:
+    def test_lognormal_recovers_parameters(self, rng):
+        data = LogNormalDelay(4.0, 1.5).sample(50_000, rng)
+        fit = fit_lognormal(data)
+        assert fit.mu == pytest.approx(4.0, abs=0.05)
+        assert fit.sigma == pytest.approx(1.5, abs=0.05)
+
+    def test_exponential_recovers_mean(self, rng):
+        data = ExponentialDelay(120.0).sample(50_000, rng)
+        assert fit_exponential(data).mean() == pytest.approx(120.0, rel=0.05)
+
+    def test_uniform_recovers_bounds(self, rng):
+        data = UniformDelay(10.0, 30.0).sample(50_000, rng)
+        fit = fit_uniform(data)
+        assert fit.low == pytest.approx(10.0, abs=0.1)
+        assert fit.high == pytest.approx(30.0, abs=0.1)
+
+    def test_gamma_moments(self, rng):
+        data = GammaDelay(shape=3.0, scale=20.0).sample(100_000, rng)
+        fit = fit_gamma(data)
+        assert fit.shape == pytest.approx(3.0, rel=0.1)
+        assert fit.scale == pytest.approx(20.0, rel=0.1)
+
+    def test_halfnormal_sigma(self, rng):
+        data = HalfNormalDelay(sigma=50.0).sample(100_000, rng)
+        assert fit_halfnormal(data).sigma == pytest.approx(50.0, rel=0.05)
+
+    def test_degenerate_data_raises(self):
+        with pytest.raises(FittingError):
+            fit_uniform(np.full(100, 5.0))
+        with pytest.raises(FittingError):
+            fit_exponential(np.zeros(100))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(FittingError):
+            fit_lognormal(np.array([1.0]))
+
+
+class TestKsDistance:
+    def test_zero_for_own_ecdf(self, rng):
+        data = ExponentialDelay(10.0).sample(2_000, rng)
+        # Distance of the empirical distribution to its own sample.
+        assert ks_distance(EmpiricalDelay(data), data) <= 1.0 / len(data) + 1e-9
+
+    def test_detects_wrong_family(self, rng):
+        data = UniformDelay(0.0, 10.0).sample(5_000, rng)
+        wrong = ExponentialDelay(5.0)
+        assert ks_distance(wrong, data) > 0.1
+
+
+class TestFitBest:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            (LogNormalDelay(4.0, 1.5), "lognormal"),
+            (ExponentialDelay(100.0), "exponential"),
+            (HalfNormalDelay(50.0), "halfnormal"),
+        ],
+    )
+    def test_selects_generating_family(self, rng, source, expected):
+        data = source.sample(20_000, rng)
+        result = fit_best(data)
+        assert result.family == expected
+        assert result.ks < 0.05
+        assert expected in result.candidates
+
+    def test_empirical_fallback(self, rng):
+        data = ExponentialDelay(10.0).sample(500, rng)
+        result = fit_best(data, families=(), empirical_fallback=True)
+        assert result.family == "empirical"
+        assert isinstance(result.distribution, EmpiricalDelay)
+
+    def test_no_fallback_raises(self, rng):
+        data = ExponentialDelay(10.0).sample(500, rng)
+        with pytest.raises(FittingError):
+            fit_best(data, families=(), empirical_fallback=False)
+
+    def test_unknown_family_raises(self, rng):
+        data = ExponentialDelay(10.0).sample(500, rng)
+        with pytest.raises(FittingError):
+            fit_best(data, families=("zipf",))

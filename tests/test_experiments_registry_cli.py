@@ -1,0 +1,88 @@
+"""Tests for the experiment registry and the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+#: Every evaluation figure/table of the paper must have an experiment.
+PAPER_ARTIFACTS = [
+    "fig05", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "table02", "table03",
+]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        for artifact in PAPER_ARTIFACTS:
+            assert artifact in EXPERIMENTS
+
+    def test_ablation_experiments_registered(self):
+        assert sum(1 for e in EXPERIMENTS if e.startswith("ablation_")) >= 4
+
+    def test_modules_expose_run_and_metadata(self):
+        for experiment_id in experiment_ids():
+            module = get_experiment(experiment_id)
+            assert callable(module.run)
+            assert module.EXPERIMENT_ID == experiment_id
+            assert module.TITLE
+            assert module.PAPER_REF
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("table02", scale=0.05)
+        assert result.experiment_id == "table02"
+        assert result.tables
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "table03" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table02", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "completed in" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_seed_override(self, capsys):
+        assert main(["table02", "--scale", "0.05", "--seed", "3"]) == 0
+
+    def test_csv_export(self, capsys, tmp_path):
+        assert main(
+            ["table02", "--scale", "0.05", "--csv-dir", str(tmp_path)]
+        ) == 0
+        files = list(tmp_path.glob("table02__*.csv"))
+        assert files
+        header = files[0].read_text().splitlines()[0]
+        assert "dataset" in header
+
+
+class TestSaveCsv:
+    def test_one_file_per_table(self, tmp_path):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("concepts")
+        written = result.save_csv(tmp_path)
+        assert len(written) == len(result.tables)
+        for path in written:
+            assert path.exists()
+            assert path.name.startswith("concepts__")

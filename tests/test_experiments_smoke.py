@@ -1,0 +1,32 @@
+"""Smoke tests: every experiment runs end-to-end at a tiny scale.
+
+These do not validate the reproduction claims (the benchmarks do, at a
+meaningful scale); they guarantee each module stays runnable.
+"""
+
+import pytest
+
+from repro.experiments import experiment_ids, run_experiment
+
+#: Tiny-scale overrides for the slower experiments.
+_SCALE = {
+    "fig05": 0.05,
+    "fig09": 0.05,
+    "fig10": 0.1,
+    "fig12": 0.1,
+    "fig13": 0.1,
+    "fig14": 0.1,
+    "fig17": 0.12,
+    "ablation_drift": 0.1,
+}
+
+
+@pytest.mark.parametrize("experiment_id", experiment_ids())
+def test_experiment_runs(experiment_id):
+    result = run_experiment(experiment_id, scale=_SCALE.get(experiment_id, 0.1))
+    assert result.experiment_id == experiment_id
+    assert result.tables
+    rendered = result.render()
+    assert result.title in rendered
+    for table in result.tables:
+        assert table.rows, f"{experiment_id}: empty table {table.caption!r}"

@@ -1,0 +1,197 @@
+"""Tests for LSM building blocks: MemTable, SSTable, Run, WriteStats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.lsm import MemTable, Run, SSTable, WriteStats, build_sstables
+from repro.lsm.wa_tracker import CompactionEvent
+
+
+def _table(values):
+    tg = np.asarray(values, dtype=np.float64)
+    return SSTable(tg=tg, ids=np.arange(tg.size, dtype=np.int64))
+
+
+class TestMemTable:
+    def test_extend_and_room(self):
+        table = MemTable(capacity=5)
+        table.extend(np.array([3.0, 1.0]), np.array([0, 1]))
+        assert len(table) == 2
+        assert table.room == 3
+        assert not table.full
+
+    def test_full_flag(self):
+        table = MemTable(capacity=2)
+        table.extend(np.array([1.0, 2.0]), np.array([0, 1]))
+        assert table.full
+
+    def test_overflow_rejected(self):
+        table = MemTable(capacity=2)
+        with pytest.raises(EngineError):
+            table.extend(np.array([1.0, 2.0, 3.0]), np.array([0, 1, 2]))
+
+    def test_drain_sorts_by_generation(self):
+        table = MemTable(capacity=4)
+        table.extend(np.array([3.0, 1.0]), np.array([10, 11]))
+        table.extend(np.array([2.0]), np.array([12]))
+        tg, ids = table.drain()
+        assert list(tg) == [1.0, 2.0, 3.0]
+        assert list(ids) == [11, 12, 10]
+        assert table.empty
+
+    def test_drain_empty(self):
+        tg, ids = MemTable(capacity=2).drain()
+        assert tg.size == 0 and ids.size == 0
+
+    def test_misaligned_arrays_rejected(self):
+        table = MemTable(capacity=5)
+        with pytest.raises(EngineError):
+            table.extend(np.array([1.0]), np.array([1, 2]))
+
+
+class TestSSTable:
+    def test_bounds_and_len(self):
+        table = _table([1.0, 2.0, 5.0])
+        assert table.min_tg == 1.0
+        assert table.max_tg == 5.0
+        assert len(table) == 3
+
+    def test_overlaps(self):
+        table = _table([10.0, 20.0])
+        assert table.overlaps(5.0, 10.0)
+        assert table.overlaps(15.0, 16.0)
+        assert not table.overlaps(21.0, 30.0)
+        assert not table.overlaps(0.0, 9.0)
+
+    def test_count_in_range(self):
+        table = _table([1.0, 2.0, 3.0, 4.0])
+        assert table.count_in_range(2.0, 3.0) == 2
+        assert table.count_in_range(0.0, 10.0) == 4
+        assert table.count_in_range(5.0, 6.0) == 0
+
+    def test_rejects_empty_or_unsorted(self):
+        with pytest.raises(EngineError):
+            SSTable(tg=np.array([]), ids=np.array([], dtype=np.int64))
+        with pytest.raises(EngineError):
+            SSTable(tg=np.array([2.0, 1.0]), ids=np.array([0, 1]))
+
+    def test_unique_table_ids(self):
+        assert _table([1.0]).table_id != _table([1.0]).table_id
+
+    def test_build_sstables_chunks(self):
+        tg = np.arange(10, dtype=np.float64)
+        ids = np.arange(10, dtype=np.int64)
+        tables = build_sstables(tg, ids, sstable_size=4)
+        assert [len(t) for t in tables] == [4, 4, 2]
+        assert tables[0].min_tg == 0.0 and tables[-1].max_tg == 9.0
+
+
+class TestRun:
+    def test_append_and_bounds(self):
+        run = Run()
+        assert run.empty and run.max_tg == -np.inf
+        run.append([_table([1.0, 2.0]), _table([3.0, 4.0])])
+        assert run.max_tg == 4.0
+        assert run.min_tg == 1.0
+        assert run.total_points == 4
+
+    def test_append_overlap_rejected(self):
+        run = Run()
+        run.append([_table([1.0, 5.0])])
+        with pytest.raises(EngineError):
+            run.append([_table([4.0, 6.0])])
+
+    def test_overlap_slice_finds_contiguous_range(self):
+        run = Run()
+        run.append([_table([0.0, 9.0]), _table([10.0, 19.0]), _table([20.0, 29.0])])
+        region = run.overlap_slice(12.0, 22.0)
+        assert (region.start, region.stop) == (1, 3)
+        assert len(run.overlapping_tables(12.0, 22.0)) == 2
+
+    def test_overlap_slice_gap_insert_position(self):
+        run = Run()
+        run.append([_table([0.0, 9.0]), _table([20.0, 29.0])])
+        region = run.overlap_slice(12.0, 15.0)
+        assert region.start == region.stop == 1
+
+    def test_replace_keeps_invariants(self):
+        run = Run()
+        run.append([_table([0.0, 9.0]), _table([10.0, 19.0]), _table([20.0, 29.0])])
+        region = run.overlap_slice(10.0, 19.0)
+        removed = run.replace(region, [_table([10.0, 15.0]), _table([16.0, 19.0])])
+        assert len(removed) == 1
+        assert len(run) == 4
+        run.check_invariants()
+
+    def test_replace_overlapping_result_rejected(self):
+        run = Run()
+        run.append([_table([0.0, 9.0]), _table([20.0, 29.0])])
+        with pytest.raises(EngineError):
+            run.replace(slice(1, 1), [_table([5.0, 25.0])])
+
+    def test_count_points_above(self):
+        run = Run()
+        run.append([_table([0.0, 1.0, 2.0]), _table([3.0, 4.0]), _table([5.0, 6.0])])
+        assert run.count_points_above(2.5) == 4
+        assert run.count_points_above(-1.0) == 7
+        assert run.count_points_above(6.0) == 0
+        assert run.count_points_above(0.5) == 6
+
+    def test_clear(self):
+        run = Run()
+        run.append([_table([1.0, 2.0])])
+        removed = run.clear()
+        assert len(removed) == 1
+        assert run.empty
+        assert run.count_points_above(0.0) == 0
+
+    def test_inverted_range_rejected(self):
+        run = Run()
+        with pytest.raises(EngineError):
+            run.overlap_slice(5.0, 1.0)
+
+
+class TestWriteStats:
+    def test_wa_counting(self):
+        stats = WriteStats()
+        stats.record_ingest(10)
+        stats.record_written(np.arange(10, dtype=np.int64))
+        stats.record_written(np.arange(5, dtype=np.int64))
+        assert stats.disk_writes == 15
+        assert stats.write_amplification == pytest.approx(1.5)
+        counts = stats.write_counts
+        assert list(counts) == [2] * 5 + [1] * 5
+
+    def test_wa_nan_before_ingest(self):
+        assert np.isnan(WriteStats().write_amplification)
+
+    def test_counters_grow(self):
+        stats = WriteStats(initial_capacity=2)
+        stats.record_written(np.array([100], dtype=np.int64))
+        assert stats.write_counts[100] == 1
+
+    def test_event_log_and_merge_filter(self):
+        stats = WriteStats()
+        stats.record_event(CompactionEvent("flush", 10, 10, 0, 0, 1))
+        stats.record_event(CompactionEvent("merge", 20, 10, 30, 2, 3))
+        assert len(stats.merge_events()) == 1
+        assert stats.merge_events()[0].disk_writes == 40
+
+    def test_wa_timeline(self):
+        stats = WriteStats()
+        stats.record_ingest(20)
+        stats.record_event(CompactionEvent("flush", 10, 10, 0, 0, 1))
+        stats.record_event(CompactionEvent("merge", 20, 10, 10, 1, 1))
+        edges, wa = stats.wa_timeline(window_points=10)
+        assert list(edges) == [10, 20]
+        assert wa[0] == pytest.approx(1.0)
+        assert wa[1] == pytest.approx(2.0)
+
+    def test_wa_timeline_empty(self):
+        edges, wa = WriteStats().wa_timeline(window_points=10)
+        assert edges.size == 0 and wa.size == 0
+
+    def test_negative_ingest_rejected(self):
+        with pytest.raises(EngineError):
+            WriteStats().record_ingest(-1)

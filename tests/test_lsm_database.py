@@ -1,0 +1,163 @@
+"""Tests for the multi-series TimeSeriesDatabase."""
+
+import numpy as np
+import pytest
+
+from repro import EngineError, TimeSeriesDatabase
+from repro.lsm import SeparationEngine
+from repro.workloads import generate_fleet, generate_synthetic
+from repro import LogNormalDelay, UniformDelay
+
+
+class TestSeriesManagement:
+    def test_create_and_lookup(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=16, sstable_size=16)
+        db.create_series("temp")
+        assert db.series("temp").policy_label == "pi_c"
+        assert db.series_names() == ["temp"]
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self):
+        db = TimeSeriesDatabase()
+        db.create_series("a")
+        with pytest.raises(EngineError):
+            db.create_series("a")
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(EngineError):
+            TimeSeriesDatabase().series("ghost")
+
+    def test_write_creates_on_demand(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=16, sstable_size=16)
+        db.write("auto", np.arange(10, dtype=np.float64))
+        assert "auto" in db.series_names()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(EngineError):
+            TimeSeriesDatabase(memory_budget_per_series=1)
+
+    def test_per_series_budget_override(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=512, sstable_size=64)
+        state = db.create_series("small", memory_budget=64)
+        assert state.config.memory_budget == 64
+        assert db.series("small").engine.config.memory_budget == 64
+
+    def test_create_series_with_separation_policy(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=128, sstable_size=128)
+        state = db.create_series("sep", memory_budget=64, seq_capacity=16)
+        assert state.policy_label == "pi_s(n_seq=16)"
+        db.write("sep", np.arange(100, dtype=np.float64))
+        db.flush_all()
+        assert db.snapshot("sep").total_points == 100
+
+
+class TestWriteAndRead:
+    def test_series_are_isolated(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=8, sstable_size=8)
+        db.write("a", np.arange(20, dtype=np.float64))
+        db.write("b", np.arange(100, 105, dtype=np.float64))
+        db.flush_all()
+        assert db.snapshot("a").total_points == 20
+        assert db.snapshot("b").total_points == 5
+
+    def test_empty_write_noop(self):
+        db = TimeSeriesDatabase()
+        db.write("a", np.array([]))
+        assert db.snapshot("a").total_points == 0
+
+    def test_disorder_tracked_across_writes(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=8, sstable_size=8)
+        db.write("s", np.array([10.0, 20.0]))
+        db.write("s", np.array([15.0]))  # out-of-order vs earlier write
+        report = db.report()
+        assert report.disordered_series == 1
+
+
+class TestRetune:
+    def test_disordered_series_switches_to_separation(self):
+        db = TimeSeriesDatabase(
+            memory_budget_per_series=256, sstable_size=256
+        )
+        stream = generate_synthetic(
+            20_000, dt=50, delay=LogNormalDelay(5.0, 2.0), seed=3
+        )
+        db.write("noisy", stream.tg, stream.ta)
+        switched = db.retune()
+        assert "noisy" in switched
+        assert isinstance(db.series("noisy").engine, SeparationEngine)
+        # Points survive the switch.
+        db.write("noisy", stream.tg + stream.tg.max() + 50.0)
+        db.flush_all()
+        assert db.snapshot("noisy").total_points == 40_000
+
+    def test_ordered_series_stays_conventional(self):
+        db = TimeSeriesDatabase(
+            memory_budget_per_series=256, sstable_size=256
+        )
+        stream = generate_synthetic(
+            10_000, dt=50, delay=UniformDelay(0.0, 20.0), seed=4
+        )
+        db.write("clean", stream.tg, stream.ta)
+        switched = db.retune()
+        assert "clean" not in switched
+        assert db.series("clean").policy_label == "pi_c"
+
+    def test_under_observed_series_skipped(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=64, sstable_size=64)
+        stream = generate_synthetic(
+            100, dt=50, delay=LogNormalDelay(5.0, 2.0), seed=5
+        )
+        db.write("tiny", stream.tg, stream.ta)
+        assert db.retune() == {}
+
+    def test_no_analyzers_without_auto_tune(self):
+        db = TimeSeriesDatabase(auto_tune=False)
+        db.write("s", np.arange(10, dtype=np.float64))
+        assert db.series("s").analyzer is None
+        assert db.retune() == {}
+
+
+class TestFleetReport:
+    def test_aggregates(self):
+        db = TimeSeriesDatabase(memory_budget_per_series=8, sstable_size=8)
+        db.write("a", np.arange(16, dtype=np.float64))
+        db.write("b", np.array([10.0, 5.0, 20.0, 15.0, 30.0, 25.0, 40.0, 35.0]))
+        db.flush_all()
+        report = db.report()
+        assert report.series_count == 2
+        assert report.total_points == 24
+        assert report.write_amplification >= 1.0
+        assert report.disordered_series == 1
+        assert report.disordered_fraction == pytest.approx(0.5)
+        assert len(report.rows) == 2
+
+    def test_empty_database(self):
+        report = TimeSeriesDatabase().report()
+        assert report.series_count == 0
+        assert np.isnan(report.write_amplification)
+        assert report.disordered_fraction == 0.0
+
+
+class TestFleetWorkload:
+    def test_fleet_shape(self):
+        fleet = generate_fleet(n_series=10, points_per_series=500, seed=1)
+        assert len(fleet) == 10
+        assert all(len(ds) == 500 for ds in fleet.values())
+
+    def test_disordered_fraction_calibrated(self):
+        fleet = generate_fleet(
+            n_series=30, points_per_series=2_000,
+            disordered_fraction=0.4, seed=2,
+        )
+        disordered = sum(
+            1 for ds in fleet.values() if ds.out_of_order_fraction() > 0
+        )
+        assert disordered == pytest.approx(12, abs=3)
+
+    def test_rejects_bad_parameters(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            generate_fleet(n_series=0)
+        with pytest.raises(WorkloadError):
+            generate_fleet(disordered_fraction=2.0)

@@ -1,0 +1,67 @@
+"""Event-log semantics: the audit trail every experiment relies on."""
+
+import numpy as np
+import pytest
+
+from repro import ConventionalEngine, LogNormalDelay, LsmConfig, SeparationEngine
+from repro.workloads import generate_synthetic
+
+
+@pytest.fixture(scope="module")
+def driven_engines():
+    dataset = generate_synthetic(
+        30_000, dt=50, delay=LogNormalDelay(5.0, 2.0), seed=41
+    )
+    engines = {}
+    for label, engine in (
+        ("pi_c", ConventionalEngine(LsmConfig(256, 256))),
+        ("pi_s", SeparationEngine(LsmConfig(256, 256, seq_capacity=128))),
+    ):
+        engine.ingest(dataset.tg)
+        engine.flush_all()
+        engines[label] = engine
+    return engines
+
+
+class TestEventLog:
+    def test_arrival_indices_monotone(self, driven_engines):
+        for engine in driven_engines.values():
+            arrivals = [e.arrival_index for e in engine.stats.events]
+            assert arrivals == sorted(arrivals)
+            assert arrivals[-1] <= engine.ingested_points
+
+    def test_event_writes_sum_to_disk_writes(self, driven_engines):
+        for engine in driven_engines.values():
+            total = sum(e.disk_writes for e in engine.stats.events)
+            assert total == engine.stats.disk_writes
+
+    def test_new_points_sum_to_user_points(self, driven_engines):
+        for engine in driven_engines.values():
+            new_total = sum(e.new_points for e in engine.stats.events)
+            assert new_total == engine.stats.user_points
+
+    def test_rewrites_match_write_counters(self, driven_engines):
+        for engine in driven_engines.values():
+            rewritten = sum(e.rewritten_points for e in engine.stats.events)
+            counters = engine.stats.write_counts
+            assert rewritten == int((counters - 1).clip(min=0).sum())
+
+    def test_tables_written_positive(self, driven_engines):
+        for engine in driven_engines.values():
+            for event in engine.stats.events:
+                assert event.tables_written >= 1
+                assert event.rewritten_points >= 0
+
+    def test_timeline_integrates_to_total_wa(self, driven_engines):
+        for engine in driven_engines.values():
+            edges, wa = engine.stats.wa_timeline(window_points=256)
+            user = np.diff(np.concatenate(([0], np.minimum(edges, engine.stats.user_points))))
+            reconstructed = float(np.nansum(wa * user))
+            assert reconstructed == pytest.approx(engine.stats.disk_writes)
+
+    def test_flush_events_never_rewrite(self, driven_engines):
+        for engine in driven_engines.values():
+            for event in engine.stats.events:
+                if event.kind == "flush":
+                    assert event.rewritten_points == 0
+                    assert event.tables_rewritten == 0

@@ -1,0 +1,76 @@
+"""Tests for aggregate queries with metadata pruning."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConventionalEngine,
+    LsmConfig,
+    QueryError,
+    execute_aggregate_query,
+)
+
+
+@pytest.fixture()
+def engine():
+    eng = ConventionalEngine(LsmConfig(memory_budget=10, sstable_size=10))
+    eng.ingest(np.arange(100, dtype=np.float64))
+    eng.flush_all()
+    return eng
+
+
+class TestAggregateQuery:
+    def test_count_min_max_mean(self, engine):
+        result = execute_aggregate_query(engine.snapshot(), 10.0, 19.0)
+        assert result.count == 10
+        assert result.minimum == 10.0
+        assert result.maximum == 19.0
+        assert result.mean == pytest.approx(14.5)
+        assert result.total == pytest.approx(sum(range(10, 20)))
+
+    def test_pruning_covers_interior_tables(self, engine):
+        # [5, 74] fully covers tables [10..19] ... [60..69]; the two
+        # boundary tables are scanned.
+        result = execute_aggregate_query(engine.snapshot(), 5.0, 74.0)
+        assert result.count == 70
+        assert result.tables_pruned == 6
+        assert result.tables_scanned == 2
+
+    def test_exact_table_bounds_fully_pruned(self, engine):
+        result = execute_aggregate_query(engine.snapshot(), 10.0, 29.0)
+        assert result.tables_pruned == 2
+        assert result.tables_scanned == 0
+        assert result.count == 20
+
+    def test_empty_range(self, engine):
+        result = execute_aggregate_query(engine.snapshot(), 200.0, 300.0)
+        assert result.count == 0
+        assert np.isnan(result.minimum)
+        assert np.isnan(result.mean)
+
+    def test_memtable_contributions(self):
+        eng = ConventionalEngine(LsmConfig(memory_budget=10, sstable_size=10))
+        eng.ingest(np.arange(15, dtype=np.float64))  # 10 flushed, 5 buffered
+        result = execute_aggregate_query(eng.snapshot(), 8.0, 12.0)
+        assert result.count == 5
+        assert result.maximum == 12.0
+
+    def test_matches_naive_reference(self, rng):
+        eng = ConventionalEngine(LsmConfig(memory_budget=16, sstable_size=16))
+        tg = rng.permutation(500).astype(np.float64)
+        eng.ingest(tg)
+        snapshot = eng.snapshot()
+        for _ in range(20):
+            lo = float(rng.uniform(0, 400))
+            hi = lo + float(rng.uniform(1, 150))
+            result = execute_aggregate_query(snapshot, lo, hi)
+            inside = tg[(tg >= lo) & (tg <= hi)]
+            assert result.count == inside.size
+            if inside.size:
+                assert result.minimum == inside.min()
+                assert result.maximum == inside.max()
+                assert result.total == pytest.approx(inside.sum())
+
+    def test_inverted_range_rejected(self, engine):
+        with pytest.raises(QueryError):
+            execute_aggregate_query(engine.snapshot(), 5.0, 1.0)

@@ -1,0 +1,101 @@
+"""Tests for the Greenwald–Khanna quantile sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.stats.quantile_sketch import GKQuantileSketch
+
+
+class TestBasics:
+    def test_single_value(self):
+        sketch = GKQuantileSketch()
+        sketch.insert(5.0)
+        assert sketch.quantile(0.0) == 5.0
+        assert sketch.quantile(1.0) == 5.0
+        assert sketch.count == 1
+
+    def test_extremes_exact(self):
+        sketch = GKQuantileSketch(epsilon=0.05)
+        data = np.arange(1000, dtype=float)
+        sketch.insert_many(np.random.default_rng(0).permutation(data))
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == 999.0
+
+    def test_empty_queries_rejected(self):
+        sketch = GKQuantileSketch()
+        with pytest.raises(ReproError):
+            sketch.quantile(0.5)
+        with pytest.raises(ReproError):
+            sketch.cdf(1.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            GKQuantileSketch(epsilon=0.0)
+        sketch = GKQuantileSketch()
+        with pytest.raises(ReproError):
+            sketch.insert(float("nan"))
+        sketch.insert(1.0)
+        with pytest.raises(ReproError):
+            sketch.quantile(1.5)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.01])
+    def test_rank_guarantee_uniform(self, epsilon, rng):
+        sketch = GKQuantileSketch(epsilon=epsilon)
+        data = rng.random(20_000)
+        sketch.insert_many(data)
+        sorted_data = np.sort(data)
+        n = data.size
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = sketch.quantile(q)
+            # Rank of the estimate must be within epsilon*n of q*n.
+            rank = np.searchsorted(sorted_data, estimate, side="right")
+            assert abs(rank - q * n) <= 2 * epsilon * n + 1
+
+    def test_rank_guarantee_heavy_tail(self, rng):
+        sketch = GKQuantileSketch(epsilon=0.02)
+        data = rng.lognormal(5.0, 2.0, 20_000)
+        sketch.insert_many(data)
+        sorted_data = np.sort(data)
+        n = data.size
+        for q in (0.5, 0.9, 0.99):
+            rank = np.searchsorted(
+                sorted_data, sketch.quantile(q), side="right"
+            )
+            assert abs(rank - q * n) <= 2 * 0.02 * n + 1
+
+    def test_cdf_inverse_consistency(self, rng):
+        sketch = GKQuantileSketch(epsilon=0.02)
+        sketch.insert_many(rng.exponential(10.0, 10_000))
+        for q in (0.2, 0.5, 0.8):
+            assert sketch.cdf(sketch.quantile(q)) == pytest.approx(q, abs=0.1)
+
+    def test_memory_sublinear(self, rng):
+        sketch = GKQuantileSketch(epsilon=0.01)
+        sketch.insert_many(rng.random(50_000))
+        # Raw storage would be 50k values; the sketch keeps a tiny summary.
+        assert sketch.size < 2_000
+
+    def test_sorted_input(self):
+        sketch = GKQuantileSketch(epsilon=0.02)
+        sketch.insert_many(np.arange(5_000, dtype=float))
+        assert sketch.quantile(0.5) == pytest.approx(2_500, abs=150)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=500,
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_estimate_within_range(values, q):
+    sketch = GKQuantileSketch(epsilon=0.05)
+    sketch.insert_many(np.asarray(values))
+    estimate = sketch.quantile(q)
+    assert min(values) <= estimate <= max(values)
