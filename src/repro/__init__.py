@@ -25,6 +25,8 @@ Layers
   simulated S-9 and H);
 * :mod:`repro.distributions` / :mod:`repro.stats` — probabilistic and
   statistical substrate;
+* :mod:`repro.obs` — telemetry: metrics registry, structured event bus
+  with pluggable sinks, span timers, trace reports;
 * :mod:`repro.experiments` — one module per paper figure/table.
 """
 
@@ -82,7 +84,21 @@ from .errors import (
     ModelError,
     QueryError,
     ReproError,
+    TelemetryError,
     WorkloadError,
+)
+from .obs import (
+    ConsoleSink,
+    JsonlFileSink,
+    MetricsRegistry,
+    RingBufferSink,
+    Telemetry,
+    build_telemetry,
+    configure_telemetry,
+    global_telemetry,
+    load_trace,
+    render_trace_report,
+    reset_global_telemetry,
 )
 from .lsm import (
     AdaptiveEngine,
@@ -194,6 +210,18 @@ __all__ = [
     "MixtureDelay",
     "ShiftedDelay",
     "fit_best",
+    # observability
+    "Telemetry",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "ConsoleSink",
+    "build_telemetry",
+    "configure_telemetry",
+    "global_telemetry",
+    "reset_global_telemetry",
+    "load_trace",
+    "render_trace_report",
     # errors
     "ReproError",
     "ConfigError",
@@ -203,5 +231,6 @@ __all__ = [
     "ModelError",
     "WorkloadError",
     "QueryError",
+    "TelemetryError",
     "ExperimentError",
 ]

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig07
     python -m repro fig09 --scale 0.5 --seed 1
     python -m repro all --scale 0.2
+    python -m repro fig07 --trace trace.jsonl
+    python -m repro telemetry-report trace.jsonl
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import time
 
 from .errors import ReproError
 from .experiments import experiment_ids, run_experiment
+from .obs import configure_telemetry, load_trace, render_trace_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,7 +30,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', or 'list'",
+        help=(
+            "experiment id (see 'list'), 'all', 'list', or "
+            "'telemetry-report <trace.jsonl>'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -43,16 +49,55 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result table as CSV into this directory",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "capture telemetry (experiment wall-times, engine flush/merge "
+            "events) as JSON lines into PATH; inspect it later with "
+            "'telemetry-report PATH'"
+        ),
+    )
     return parser
+
+
+def _build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments telemetry-report",
+        description=(
+            "Summarise a JSONL telemetry trace: span timings, compaction "
+            "volumes, query costs"
+        ),
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    return parser
+
+
+def _telemetry_report(argv: list[str]) -> int:
+    """The ``telemetry-report`` subcommand; returns an exit code."""
+    args = _build_report_parser().parse_args(argv)
+    try:
+        events = load_trace(args.trace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_trace_report(events, source=args.trace))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "telemetry-report":
+        return _telemetry_report(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
+    if args.trace is not None:
+        configure_telemetry(sink=f"jsonl:{args.trace}")
     targets = (
         experiment_ids() if args.experiment == "all" else [args.experiment]
     )
@@ -69,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[wrote {path}]")
         print(f"\n[{experiment_id} completed in "
               f"{time.perf_counter() - started:.1f}s]\n")
+    if args.trace is not None:
+        print(f"[telemetry trace written to {args.trace}]")
     return 0
 
 

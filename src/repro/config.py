@@ -39,13 +39,30 @@ class LsmConfig:
         Capacity of ``C_seq`` (``n_seq``).  Only meaningful for the
         separation policy.  ``None`` means "half of the budget", the
         original Apache IoTDB default the paper calls ``pi_s(n/2)``.
+    telemetry_enabled:
+        When True the engine publishes structured events (flush, merge,
+        query spans) and metrics through :mod:`repro.obs`.  Off by
+        default; disabled telemetry is a constant-time no-op.
+    telemetry_sink:
+        Sink spec for the engine's event bus: ``"memory[:capacity]"``
+        (ring buffer, the default), ``"console"`` (JSON lines to
+        stderr) or ``"jsonl:<path>"`` (append-mode trace file readable
+        by ``repro telemetry-report``).
     """
 
     memory_budget: int = DEFAULT_MEMORY_BUDGET
     sstable_size: int = DEFAULT_SSTABLE_SIZE
     seq_capacity: int | None = None
+    telemetry_enabled: bool = False
+    telemetry_sink: str = "memory"
 
     def __post_init__(self) -> None:
+        # Validate the sink spec eagerly so a typo fails at config time,
+        # not at the first flush.  Imported here to keep repro.obs free
+        # of import cycles with this module.
+        from .obs.sinks import parse_sink_spec
+
+        parse_sink_spec(self.telemetry_sink)
         if self.memory_budget < 2:
             raise ConfigError(
                 f"memory_budget must be >= 2, got {self.memory_budget}"
@@ -77,6 +94,10 @@ class LsmConfig:
     def with_seq_capacity(self, seq_capacity: int) -> "LsmConfig":
         """Return a copy with a different ``C_seq`` capacity."""
         return replace(self, seq_capacity=seq_capacity)
+
+    def with_telemetry(self, sink: str = "memory") -> "LsmConfig":
+        """Return a copy with telemetry enabled and ``sink`` selected."""
+        return replace(self, telemetry_enabled=True, telemetry_sink=sink)
 
 
 @dataclass(frozen=True)

@@ -44,5 +44,9 @@ class QueryError(ReproError):
     """A query was malformed (e.g. inverted time range)."""
 
 
+class TelemetryError(ReproError):
+    """The telemetry subsystem was misused (bad metric, malformed trace)."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness failure (unknown experiment id, bad scale...)."""

@@ -6,6 +6,7 @@ import importlib
 from types import ModuleType
 
 from ..errors import ExperimentError
+from ..obs.telemetry import global_telemetry
 from .report import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "experiment_ids", "get_experiment", "run_experiment"]
@@ -60,9 +61,20 @@ def get_experiment(experiment_id: str) -> ModuleType:
 def run_experiment(
     experiment_id: str, scale: float = 1.0, seed: int | None = None
 ) -> ExperimentResult:
-    """Run one experiment and return its result."""
+    """Run one experiment and return its result.
+
+    Wall-time is reported on the process-global telemetry bus as an
+    ``experiment`` span (a no-op unless telemetry was configured, e.g.
+    via the CLI's ``--trace``).
+    """
     module = get_experiment(experiment_id)
     kwargs = {"scale": scale}
     if seed is not None:
         kwargs["seed"] = seed
-    return module.run(**kwargs)
+    telemetry = global_telemetry()
+    with telemetry.span(
+        "experiment", experiment_id=experiment_id, scale=scale
+    ) as span:
+        result = module.run(**kwargs)
+        span.set(tables=len(result.tables))
+    return result

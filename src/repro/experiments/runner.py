@@ -15,6 +15,7 @@ from ..core import InOrderCurve, ZetaModel, predict_wa_conventional, separation_
 from ..distributions import DelayDistribution, EmpiricalDelay
 from ..errors import ExperimentError
 from ..lsm import AdaptiveEngine, ConventionalEngine, SeparationEngine
+from ..obs.telemetry import global_telemetry
 from ..workloads import TimeSeriesDataset
 
 __all__ = [
@@ -43,16 +44,21 @@ def measure_wa(
         sstable_size=sstable_size,
         seq_capacity=seq_capacity,
     )
+    telemetry = global_telemetry()
     if policy == "conventional":
-        engine = ConventionalEngine(config)
+        engine = ConventionalEngine(config, telemetry=telemetry)
     elif policy == "separation":
-        engine = SeparationEngine(config)
+        engine = SeparationEngine(config, telemetry=telemetry)
     else:
         raise ExperimentError(
             f"policy must be 'conventional' or 'separation', got {policy!r}"
         )
-    engine.ingest(dataset.tg)
-    engine.flush_all()
+    with telemetry.span(
+        "measure_wa", dataset=dataset.name, policy=policy
+    ) as span:
+        engine.ingest(dataset.tg)
+        engine.flush_all()
+        span.set(points=engine.ingested_points, wa=engine.write_amplification)
     return engine
 
 
@@ -64,13 +70,23 @@ def measure_wa_adaptive(
     analyzer=None,
 ) -> AdaptiveEngine:
     """Run ``dataset`` through the adaptive engine (needs arrival times)."""
+    telemetry = global_telemetry()
     engine = AdaptiveEngine(
         LsmConfig(memory_budget=memory_budget, sstable_size=sstable_size),
         analyzer=analyzer,
         check_interval=check_interval,
+        telemetry=telemetry,
     )
-    engine.ingest(dataset.tg, dataset.ta)
-    engine.flush_all()
+    with telemetry.span(
+        "measure_wa_adaptive", dataset=dataset.name
+    ) as span:
+        engine.ingest(dataset.tg, dataset.ta)
+        engine.flush_all()
+        span.set(
+            points=engine.ingested_points,
+            wa=engine.write_amplification,
+            switches=len(engine.switch_log),
+        )
     return engine
 
 

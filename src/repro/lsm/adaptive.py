@@ -24,6 +24,7 @@ from ..config import LsmConfig
 from ..core.analyzer import DelayAnalyzer
 from ..core.tuning import SEPARATION, PolicyDecision
 from ..errors import EngineError
+from ..obs.telemetry import Telemetry, build_telemetry
 from .base import Snapshot
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
@@ -45,10 +46,14 @@ class AdaptiveEngine:
         analyzer: DelayAnalyzer | None = None,
         check_interval: int = 8192,
         min_seq_change: float = 0.05,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if check_interval < 1:
             raise EngineError(f"check_interval must be >= 1, got {check_interval}")
         self.config = config if config is not None else LsmConfig()
+        self.telemetry = (
+            telemetry if telemetry is not None else build_telemetry(self.config)
+        )
         self.stats = WriteStats()
         self.analyzer = (
             analyzer
@@ -61,7 +66,7 @@ class AdaptiveEngine:
         self.check_interval = check_interval
         self.min_seq_change = min_seq_change
         self._engine: ConventionalEngine | SeparationEngine = ConventionalEngine(
-            self.config, stats=self.stats
+            self.config, stats=self.stats, telemetry=self.telemetry
         )
         self._since_check = 0
         #: ``(arrival_index, PolicyDecision)`` for every retune performed.
@@ -101,7 +106,19 @@ class AdaptiveEngine:
             return
         decision = self.analyzer.recommend()
         self.decision_log.append((self.ingested_points, decision))
-        if self._needs_switch(decision):
+        switching = self._needs_switch(decision)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                {
+                    "type": "adaptive.decision",
+                    "arrival_index": self.ingested_points,
+                    "policy": decision.policy,
+                    "seq_capacity": decision.seq_capacity,
+                    "switching": switching,
+                }
+            )
+            self.telemetry.count("adaptive.decisions")
+        if switching:
             self._switch(decision)
 
     def _needs_switch(self, decision: PolicyDecision) -> bool:
@@ -124,6 +141,7 @@ class AdaptiveEngine:
                 stats=self.stats,
                 run=old.run,
                 start_id=old.ingested_points,
+                telemetry=self.telemetry,
             )
         else:
             self._engine = ConventionalEngine(
@@ -131,6 +149,7 @@ class AdaptiveEngine:
                 stats=self.stats,
                 run=old.run,
                 start_id=old.ingested_points,
+                telemetry=self.telemetry,
             )
         logger.info(
             "pi_adaptive switch at arrival %d: -> %s",
@@ -138,6 +157,15 @@ class AdaptiveEngine:
             self.current_policy,
         )
         self.switch_log.append((old.ingested_points, self.current_policy))
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                {
+                    "type": "adaptive.switch",
+                    "arrival_index": old.ingested_points,
+                    "policy": self.current_policy,
+                }
+            )
+            self.telemetry.count("adaptive.switches")
 
     # -- views ---------------------------------------------------------------------
 

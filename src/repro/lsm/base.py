@@ -19,6 +19,7 @@ import numpy as np
 
 from ..config import LsmConfig
 from ..errors import EngineClosedError, EngineError
+from ..obs.telemetry import Telemetry, build_telemetry
 from .sstable import SSTable
 from .wa_tracker import WriteStats
 
@@ -84,11 +85,19 @@ class LsmEngine(abc.ABC):
         config: LsmConfig,
         stats: WriteStats | None = None,
         start_id: int = 0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if start_id < 0:
             raise EngineError(f"start_id must be non-negative, got {start_id}")
         self.config = config
         self.stats = stats if stats is not None else WriteStats()
+        #: Event bus for this engine; the no-op bus unless the config (or
+        #: an explicit ``telemetry=``) enables it.
+        self.telemetry = (
+            telemetry if telemetry is not None else build_telemetry(config)
+        )
+        if self.telemetry.enabled:
+            self.stats.bind_telemetry(self.telemetry)
         self._next_id = start_id
         # Arrival index of the last point actually placed in a MemTable;
         # flush/merge events stamp this so WA timelines line up with the
@@ -119,7 +128,16 @@ class LsmEngine(abc.ABC):
         ids = np.arange(self._next_id, self._next_id + arr.size, dtype=np.int64)
         self._next_id += arr.size
         self.stats.record_ingest(arr.size)
-        self._ingest_batch(arr, ids)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            with telemetry.span(
+                "ingest", engine=self.policy_name, points=int(arr.size)
+            ):
+                self._ingest_batch(arr, ids)
+            telemetry.count("ingest.points", int(arr.size))
+            telemetry.count("ingest.batches")
+        else:
+            self._ingest_batch(arr, ids)
 
     @abc.abstractmethod
     def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:

@@ -41,8 +41,14 @@ class ConventionalEngine(LsmEngine):
         stats: WriteStats | None = None,
         run: Run | None = None,
         start_id: int = 0,
+        telemetry=None,
     ) -> None:
-        super().__init__(config if config is not None else LsmConfig(), stats, start_id)
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            start_id,
+            telemetry=telemetry,
+        )
         self.run = run if run is not None else Run()
         self._memtable = MemTable(self.config.memory_budget, name="C0")
 
@@ -63,15 +69,23 @@ class ConventionalEngine(LsmEngine):
 
     def _compact_memtable(self) -> None:
         """Merge C0 into the run (leveled compaction)."""
-        mem_tg, mem_ids = self._memtable.drain()
-        lo, hi = float(mem_tg[0]), float(mem_tg[-1])
-        region = self.run.overlap_slice(lo, hi)
-        victims = self.run.tables[region]
-        merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
-        new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-        self.run.replace(region, new_tables)
-        rewritten = sum(len(t) for t in victims)
-        self.stats.record_written(merged_ids)
+        with self.telemetry.span("compaction", engine=self.policy_name) as span:
+            mem_tg, mem_ids = self._memtable.drain()
+            lo, hi = float(mem_tg[0]), float(mem_tg[-1])
+            region = self.run.overlap_slice(lo, hi)
+            victims = self.run.tables[region]
+            merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
+            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
+            self.run.replace(region, new_tables)
+            rewritten = sum(len(t) for t in victims)
+            span.rename("merge" if victims else "flush")
+            span.set(
+                new_points=int(mem_tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+            self.stats.record_written(merged_ids)
         logger.debug(
             "pi_c merge: %d new + %d rewritten points across %d tables "
             "(arrival %d)",

@@ -20,6 +20,7 @@ from ..config import LsmConfig
 from ..core.analyzer import DelayAnalyzer
 from ..core.tuning import SEPARATION, PolicyDecision
 from ..errors import EngineError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .base import Snapshot
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
@@ -87,6 +88,10 @@ class TimeSeriesDatabase:
         When True every series gets its own :class:`DelayAnalyzer`; call
         :meth:`retune` to (re-)decide each series' policy from its own
         delay profile.  When False all series use ``pi_c``.
+    telemetry:
+        Shared event bus for the whole database: per-series engines
+        publish their flush/merge events to it and the router counts
+        written batches/points per series.  Defaults to the no-op bus.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class TimeSeriesDatabase:
         memory_budget_per_series: int = 512,
         sstable_size: int = 512,
         auto_tune: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if memory_budget_per_series < 2:
             raise EngineError("memory_budget_per_series must be >= 2")
@@ -101,6 +107,7 @@ class TimeSeriesDatabase:
             memory_budget=memory_budget_per_series, sstable_size=sstable_size
         )
         self.auto_tune = auto_tune
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._series: dict[str, SeriesState] = {}
         self._had_disorder: dict[str, bool] = {}
         self._last_tg: dict[str, float] = {}
@@ -141,9 +148,9 @@ class TimeSeriesDatabase:
         )
         engine: ConventionalEngine | SeparationEngine
         if seq_capacity is not None:
-            engine = SeparationEngine(config)
+            engine = SeparationEngine(config, telemetry=self.telemetry)
         else:
-            engine = ConventionalEngine(config)
+            engine = ConventionalEngine(config, telemetry=self.telemetry)
         state = SeriesState(
             name=name,
             config=config,
@@ -153,6 +160,16 @@ class TimeSeriesDatabase:
         self._series[name] = state
         self._had_disorder[name] = False
         self._last_tg[name] = -np.inf
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                {
+                    "type": "db.series_created",
+                    "series": name,
+                    "policy": state.policy_label,
+                    "memory_budget": config.memory_budget,
+                }
+            )
+            self.telemetry.count("db.series")
         return state
 
     def series(self, name: str) -> SeriesState:
@@ -191,6 +208,9 @@ class TimeSeriesDatabase:
         if state.analyzer is not None and ta is not None:
             state.analyzer.observe(tg, np.ascontiguousarray(ta, dtype=np.float64))
         state.engine.ingest(tg)
+        if self.telemetry.enabled:
+            self.telemetry.count("db.write.batches")
+            self.telemetry.count("db.write.points", int(tg.size))
 
     def flush_all(self) -> None:
         """Drain every series' MemTables."""
@@ -215,6 +235,15 @@ class TimeSeriesDatabase:
             state.decision = decision
             if self._apply_decision(state, decision):
                 switched[state.name] = state.policy_label
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        {
+                            "type": "db.series_retuned",
+                            "series": state.name,
+                            "policy": state.policy_label,
+                        }
+                    )
+                    self.telemetry.count("db.retunes")
         return switched
 
     def _apply_decision(
@@ -236,6 +265,7 @@ class TimeSeriesDatabase:
                 stats=old.stats,
                 run=old.run,
                 start_id=old.ingested_points,
+                telemetry=self.telemetry,
             )
         else:
             state.engine = ConventionalEngine(
@@ -245,6 +275,7 @@ class TimeSeriesDatabase:
                 stats=old.stats,
                 run=old.run,
                 start_id=old.ingested_points,
+                telemetry=self.telemetry,
             )
         return True
 

@@ -49,8 +49,13 @@ class IoTDBStyleEngine(LsmEngine):
         l1_file_limit: int = 10,
         disk: DiskModel = DEFAULT_DISK_MODEL,
         stats: WriteStats | None = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(config if config is not None else LsmConfig(), stats)
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            telemetry=telemetry,
+        )
         if policy not in ("conventional", "separation"):
             raise EngineError(
                 f"policy must be 'conventional' or 'separation', got {policy!r}"
@@ -130,12 +135,16 @@ class IoTDBStyleEngine(LsmEngine):
 
     def _flush(self, memtable: MemTable) -> None:
         """Write one MemTable as a level-1 file (no merge, may overlap)."""
-        tg, ids = memtable.drain()
-        table = SSTable(tg=tg, ids=ids)
-        self.l1_files.append(table)
-        self._max_disk_tg = max(self._max_disk_tg, table.max_tg)
-        self.foreground_ms += _FLUSH_SYNC_MS + self.disk.write_cost_ms(len(table))
-        self.stats.record_written(ids)
+        with self.telemetry.span(
+            "flush", engine=self.policy_name, memtable=memtable.name
+        ) as span:
+            tg, ids = memtable.drain()
+            table = SSTable(tg=tg, ids=ids)
+            self.l1_files.append(table)
+            self._max_disk_tg = max(self._max_disk_tg, table.max_tg)
+            self.foreground_ms += _FLUSH_SYNC_MS + self.disk.write_cost_ms(len(table))
+            span.set(new_points=int(tg.size), tables_written=1)
+            self.stats.record_written(ids)
         self.stats.record_event(
             CompactionEvent(
                 kind="flush",
@@ -151,21 +160,29 @@ class IoTDBStyleEngine(LsmEngine):
 
     def _compact_l1(self) -> None:
         """Background thread: merge every L1 file into the L2 run."""
-        files = self.l1_files
-        self.l1_files = []
-        tg = np.concatenate([f.tg for f in files])
-        ids = np.concatenate([f.ids for f in files])
-        tg, ids = sort_by_generation(tg, ids)
-        lo, hi = float(tg[0]), float(tg[-1])
-        region = self.l2.overlap_slice(lo, hi)
-        victims = self.l2.tables[region]
-        merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-        new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-        self.l2.replace(region, new_tables)
-        self.background_ms += self.disk.write_cost_ms(
-            merged_ids.size
-        ) + self.disk.read_cost_ms(len(files) + len(victims), merged_ids.size)
-        self.stats.record_written(merged_ids)
+        with self.telemetry.span(
+            "merge", engine=self.policy_name, level="L1->L2"
+        ) as span:
+            files = self.l1_files
+            self.l1_files = []
+            tg = np.concatenate([f.tg for f in files])
+            ids = np.concatenate([f.ids for f in files])
+            tg, ids = sort_by_generation(tg, ids)
+            lo, hi = float(tg[0]), float(tg[-1])
+            region = self.l2.overlap_slice(lo, hi)
+            victims = self.l2.tables[region]
+            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
+            self.l2.replace(region, new_tables)
+            self.background_ms += self.disk.write_cost_ms(
+                merged_ids.size
+            ) + self.disk.read_cost_ms(len(files) + len(victims), merged_ids.size)
+            span.set(
+                rewritten_points=int(merged_ids.size),
+                tables_rewritten=len(files) + len(victims),
+                tables_written=len(new_tables),
+            )
+            self.stats.record_written(merged_ids)
         self.stats.record_event(
             CompactionEvent(
                 kind="merge",

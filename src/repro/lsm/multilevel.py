@@ -35,8 +35,13 @@ class MultiLevelEngine(LsmEngine):
         size_ratio: int = 10,
         max_levels: int = 6,
         stats: WriteStats | None = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(config if config is not None else LsmConfig(), stats)
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            telemetry=telemetry,
+        )
         if size_ratio < 2:
             raise EngineError(f"size_ratio must be >= 2, got {size_ratio}")
         if max_levels < 1:
@@ -90,14 +95,24 @@ class MultiLevelEngine(LsmEngine):
     def _merge_batch_into_level(
         self, level: int, tg: np.ndarray, ids: np.ndarray, new_points: int
     ) -> None:
-        run = self.levels[level]
-        lo, hi = float(tg[0]), float(tg[-1])
-        region = run.overlap_slice(lo, hi)
-        victims = run.tables[region]
-        merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-        new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-        run.replace(region, new_tables)
-        self.stats.record_written(merged_ids)
+        with self.telemetry.span(
+            "compaction", engine=self.policy_name, level=level
+        ) as span:
+            run = self.levels[level]
+            lo, hi = float(tg[0]), float(tg[-1])
+            region = run.overlap_slice(lo, hi)
+            victims = run.tables[region]
+            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
+            run.replace(region, new_tables)
+            span.rename("merge" if victims or new_points == 0 else "flush")
+            span.set(
+                new_points=int(new_points),
+                rewritten_points=int(merged_ids.size - new_points),
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+            self.stats.record_written(merged_ids)
         self.stats.record_event(
             CompactionEvent(
                 kind="merge" if victims or new_points == 0 else "flush",

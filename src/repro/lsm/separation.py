@@ -39,8 +39,14 @@ class SeparationEngine(LsmEngine):
         stats: WriteStats | None = None,
         run: Run | None = None,
         start_id: int = 0,
+        telemetry=None,
     ) -> None:
-        super().__init__(config if config is not None else LsmConfig(), stats, start_id)
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            start_id,
+            telemetry=telemetry,
+        )
         self.run = run if run is not None else Run()
         self._seq = MemTable(self.config.effective_seq_capacity, name="C_seq")
         self._nonseq = MemTable(self.config.nonseq_capacity, name="C_nonseq")
@@ -95,10 +101,14 @@ class SeparationEngine(LsmEngine):
 
     def _flush_seq(self) -> None:
         """Append C_seq to the run: pure flush, nothing is rewritten."""
-        tg, ids = self._seq.drain()
-        tables = build_sstables(tg, ids, self.config.sstable_size)
-        self.run.append(tables)
-        self.stats.record_written(ids)
+        with self.telemetry.span(
+            "flush", engine=self.policy_name, memtable="C_seq"
+        ) as span:
+            tg, ids = self._seq.drain()
+            tables = build_sstables(tg, ids, self.config.sstable_size)
+            self.run.append(tables)
+            span.set(new_points=int(tg.size), tables_written=len(tables))
+            self.stats.record_written(ids)
         self.stats.record_event(
             CompactionEvent(
                 kind="flush",
@@ -120,14 +130,23 @@ class SeparationEngine(LsmEngine):
         """
         if not self._seq.empty:
             self._flush_seq()
-        tg, ids = self._nonseq.drain()
-        lo, hi = float(tg[0]), float(tg[-1])
-        region = self.run.overlap_slice(lo, hi)
-        victims = self.run.tables[region]
-        merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-        new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-        self.run.replace(region, new_tables)
-        self.stats.record_written(merged_ids)
+        with self.telemetry.span(
+            "merge", engine=self.policy_name, memtable="C_nonseq"
+        ) as span:
+            tg, ids = self._nonseq.drain()
+            lo, hi = float(tg[0]), float(tg[-1])
+            region = self.run.overlap_slice(lo, hi)
+            victims = self.run.tables[region]
+            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
+            self.run.replace(region, new_tables)
+            span.set(
+                new_points=int(tg.size),
+                rewritten_points=sum(len(t) for t in victims),
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+            self.stats.record_written(merged_ids)
         self.stats.record_event(
             CompactionEvent(
                 kind="merge",

@@ -35,8 +35,13 @@ class TieredEngine(LsmEngine):
         tier_fanout: int = 4,
         max_levels: int = 8,
         stats: WriteStats | None = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(config if config is not None else LsmConfig(), stats)
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            telemetry=telemetry,
+        )
         if tier_fanout < 2:
             raise EngineError(f"tier_fanout must be >= 2, got {tier_fanout}")
         if max_levels < 1:
@@ -68,10 +73,12 @@ class TieredEngine(LsmEngine):
 
     def _flush_memtable(self) -> None:
         """Sort the MemTable into a new level-0 run (never a merge)."""
-        tg, ids = self._memtable.drain()
-        run = build_sstables(tg, ids, self.config.sstable_size)
-        self.levels[0].append(run)
-        self.stats.record_written(ids)
+        with self.telemetry.span("flush", engine=self.policy_name) as span:
+            tg, ids = self._memtable.drain()
+            run = build_sstables(tg, ids, self.config.sstable_size)
+            self.levels[0].append(run)
+            span.set(new_points=int(tg.size), tables_written=len(run))
+            self.stats.record_written(ids)
         self.stats.record_event(
             CompactionEvent(
                 kind="flush",
@@ -90,15 +97,23 @@ class TieredEngine(LsmEngine):
             level < self.max_levels - 1
             and len(self.levels[level]) >= self.tier_fanout
         ):
-            runs = self.levels[level]
-            self.levels[level] = []
-            tables = [table for run in runs for table in run]
-            tg = np.concatenate([t.tg for t in tables])
-            ids = np.concatenate([t.ids for t in tables])
-            tg, ids = sort_by_generation(tg, ids)
-            merged = build_sstables(tg, ids, self.config.sstable_size)
-            self.levels[level + 1].append(merged)
-            self.stats.record_written(ids)
+            with self.telemetry.span(
+                "merge", engine=self.policy_name, level=level
+            ) as span:
+                runs = self.levels[level]
+                self.levels[level] = []
+                tables = [table for run in runs for table in run]
+                tg = np.concatenate([t.tg for t in tables])
+                ids = np.concatenate([t.ids for t in tables])
+                tg, ids = sort_by_generation(tg, ids)
+                merged = build_sstables(tg, ids, self.config.sstable_size)
+                self.levels[level + 1].append(merged)
+                span.set(
+                    rewritten_points=int(ids.size),
+                    tables_rewritten=len(tables),
+                    tables_written=len(merged),
+                )
+                self.stats.record_written(ids)
             self.stats.record_event(
                 CompactionEvent(
                     kind="merge",

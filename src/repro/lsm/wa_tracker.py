@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import EngineError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["CompactionEvent", "WriteStats"]
 
@@ -56,6 +57,16 @@ class WriteStats:
         self.user_points = 0
         self.disk_writes = 0
         self.events: list[CompactionEvent] = []
+        self._telemetry: Telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Mirror every recorded event onto ``telemetry``'s bus.
+
+        Accounting semantics are unchanged — the bus only *observes*.
+        Engines sharing one ``WriteStats`` (e.g. across an adaptive
+        policy switch) share the binding.
+        """
+        self._telemetry = telemetry
 
     # -- recording -----------------------------------------------------------
 
@@ -69,6 +80,11 @@ class WriteStats:
         """Increment write counters for every id in ``ids``."""
         if ids.size == 0:
             return
+        low = int(ids.min())
+        if low < 0:
+            # np.add.at would silently wrap negative ids to the array
+            # tail and corrupt other points' counters.
+            raise EngineError(f"point ids must be non-negative, got min {low}")
         top = int(ids.max())
         if top >= self._counts.size:
             new_size = max(self._counts.size * 2, top + 1)
@@ -78,10 +94,27 @@ class WriteStats:
         np.add.at(self._counts, ids, 1)
         self._max_id = max(self._max_id, top)
         self.disk_writes += int(ids.size)
+        if self._telemetry.enabled:
+            self._telemetry.count("engine.disk_points_written", int(ids.size))
 
     def record_event(self, event: CompactionEvent) -> None:
         """Append one flush/merge event to the log."""
         self.events.append(event)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.emit(
+                {
+                    "type": "compaction",
+                    "kind": event.kind,
+                    "arrival_index": event.arrival_index,
+                    "new_points": event.new_points,
+                    "rewritten_points": event.rewritten_points,
+                    "tables_rewritten": event.tables_rewritten,
+                    "tables_written": event.tables_written,
+                }
+            )
+            telemetry.count(f"engine.{event.kind}es")
+            telemetry.count("engine.rewritten_points", event.rewritten_points)
 
     # -- reading -------------------------------------------------------------
 
@@ -118,6 +151,12 @@ class WriteStats:
         )
         arrivals = np.asarray([e.arrival_index for e in self.events])
         writes = np.asarray([e.disk_writes for e in self.events], dtype=float)
+        if arrivals.size > 1 and np.any(np.diff(arrivals) < 0):
+            # searchsorted needs sorted arrivals; engines append events
+            # in arrival order, but merged/replayed logs may not be.
+            order = np.argsort(arrivals, kind="stable")
+            arrivals = arrivals[order]
+            writes = writes[order]
         cumulative = np.concatenate(([0.0], np.cumsum(writes)))
         # Disk writes attributed to user points <= edge: all events whose
         # arrival index is <= edge.

@@ -1,0 +1,68 @@
+"""Observability: metrics registry, structured event bus, trace reports.
+
+The telemetry layer makes every ingest/flush/merge/query path in the
+simulator observable without changing its semantics:
+
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  histograms (:mod:`repro.obs.metrics`);
+* :class:`Telemetry` — the event bus: ``emit`` structured events to
+  pluggable sinks (ring buffer, JSONL file, console) and time phases
+  with nested ``span()`` contexts (:mod:`repro.obs.telemetry`);
+* :func:`render_trace_report` — turn a captured JSONL trace back into
+  aligned summary tables, the backend of the ``repro telemetry-report``
+  CLI subcommand (:mod:`repro.obs.report`).
+
+Telemetry is off by default and the disabled bus is a constant-time
+no-op; enable it per engine via
+``LsmConfig(telemetry_enabled=True, telemetry_sink="jsonl:trace.jsonl")``
+or process-wide via :func:`configure_telemetry`.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    TraceSummary,
+    load_trace,
+    render_trace_report,
+    summarize_trace,
+)
+from .sinks import (
+    ConsoleSink,
+    JsonlFileSink,
+    RingBufferSink,
+    TelemetrySink,
+    make_sink,
+    parse_sink_spec,
+)
+from .telemetry import (
+    NULL_TELEMETRY,
+    Span,
+    Telemetry,
+    build_telemetry,
+    configure_telemetry,
+    global_telemetry,
+    reset_global_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "Span",
+    "NULL_TELEMETRY",
+    "build_telemetry",
+    "configure_telemetry",
+    "global_telemetry",
+    "reset_global_telemetry",
+    "TelemetrySink",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "ConsoleSink",
+    "make_sink",
+    "parse_sink_spec",
+    "TraceSummary",
+    "load_trace",
+    "summarize_trace",
+    "render_trace_report",
+]

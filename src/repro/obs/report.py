@@ -1,0 +1,233 @@
+"""Render a metrics summary from a JSONL telemetry trace.
+
+This is the read side of the JSONL sink: ``repro telemetry-report
+trace.jsonl`` loads every event and prints aligned tables — span timing
+by name, compaction volume by kind, query cost — so a trace captured in
+production (or by a test) turns into the same kind of report the
+experiment modules print.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import TelemetryError
+
+__all__ = ["TraceSummary", "load_trace", "summarize_trace", "render_trace_report"]
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse one JSONL trace file into a list of event dicts."""
+    path = Path(path)
+    if not path.exists():
+        raise TelemetryError(f"no such trace file: {path}")
+    events = []
+    with path.open(encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: invalid JSON event: {exc}"
+                ) from None
+            if not isinstance(event, dict):
+                raise TelemetryError(
+                    f"{path}:{lineno}: event must be a JSON object, "
+                    f"got {type(event).__name__}"
+                )
+            events.append(event)
+    return events
+
+
+@dataclass
+class _SpanAgg:
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def add(self, duration_ms: float) -> None:
+        self.count += 1
+        self.total_ms += duration_ms
+        self.max_ms = max(self.max_ms, duration_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else float("nan")
+
+
+@dataclass
+class _CompactionAgg:
+    count: int = 0
+    new_points: int = 0
+    rewritten_points: int = 0
+    tables_rewritten: int = 0
+    tables_written: int = 0
+
+    def add(self, event: dict) -> None:
+        self.count += 1
+        self.new_points += int(event.get("new_points", 0))
+        self.rewritten_points += int(event.get("rewritten_points", 0))
+        self.tables_rewritten += int(event.get("tables_rewritten", 0))
+        self.tables_written += int(event.get("tables_written", 0))
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one trace, grouped the way the report prints them."""
+
+    total_events: int = 0
+    spans: dict[str, _SpanAgg] = field(default_factory=dict)
+    compactions: dict[str, _CompactionAgg] = field(default_factory=dict)
+    query_count: int = 0
+    query_result_points: int = 0
+    query_disk_points_read: int = 0
+    query_files_touched: int = 0
+    query_total_ms: float = 0.0
+    other_types: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def read_amplification(self) -> float:
+        """Trace-wide disk points read per result point (NaN if no results)."""
+        if self.query_result_points == 0:
+            return float("nan")
+        return self.query_disk_points_read / self.query_result_points
+
+    @property
+    def merge_rewritten_points(self) -> int:
+        """Points rewritten by merge compactions across the trace."""
+        agg = self.compactions.get("merge")
+        return agg.rewritten_points if agg else 0
+
+
+def summarize_trace(events: list[dict]) -> TraceSummary:
+    """Fold a list of events into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    for event in events:
+        summary.total_events += 1
+        etype = event.get("type", "?")
+        if etype == "span":
+            name = str(event.get("name", "?"))
+            summary.spans.setdefault(name, _SpanAgg()).add(
+                float(event.get("duration_ms", 0.0))
+            )
+        elif etype == "compaction":
+            kind = str(event.get("kind", "?"))
+            summary.compactions.setdefault(kind, _CompactionAgg()).add(event)
+        elif etype == "query":
+            summary.query_count += 1
+            summary.query_result_points += int(event.get("result_points", 0))
+            summary.query_disk_points_read += int(event.get("disk_points_read", 0))
+            summary.query_files_touched += int(event.get("files_touched", 0))
+            summary.query_total_ms += float(event.get("duration_ms", 0.0))
+        else:
+            summary.other_types[etype] = summary.other_types.get(etype, 0) + 1
+    return summary
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list]) -> str:
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells):
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def render_trace_report(events: list[dict], source: str = "") -> str:
+    """The full plain-text report for a loaded trace."""
+    summary = summarize_trace(events)
+    title = "== telemetry report"
+    if source:
+        title += f": {source}"
+    parts = [title, f"{summary.total_events} events"]
+    if summary.spans:
+        rows = [
+            [name, agg.count, agg.total_ms, agg.mean_ms, agg.max_ms]
+            for name, agg in sorted(summary.spans.items())
+        ]
+        parts.append("")
+        parts.append("spans")
+        parts.append(
+            _table(["name", "count", "total_ms", "mean_ms", "max_ms"], rows)
+        )
+    if summary.compactions:
+        rows = [
+            [
+                kind,
+                agg.count,
+                agg.new_points,
+                agg.rewritten_points,
+                agg.tables_rewritten,
+                agg.tables_written,
+            ]
+            for kind, agg in sorted(summary.compactions.items())
+        ]
+        parts.append("")
+        parts.append("compaction events")
+        parts.append(
+            _table(
+                [
+                    "kind",
+                    "count",
+                    "new_points",
+                    "rewritten_points",
+                    "tables_rewritten",
+                    "tables_written",
+                ],
+                rows,
+            )
+        )
+    if summary.query_count:
+        parts.append("")
+        parts.append("queries")
+        parts.append(
+            _table(
+                [
+                    "count",
+                    "result_points",
+                    "disk_points_read",
+                    "files_touched",
+                    "total_ms",
+                    "read_amplification",
+                ],
+                [
+                    [
+                        summary.query_count,
+                        summary.query_result_points,
+                        summary.query_disk_points_read,
+                        summary.query_files_touched,
+                        summary.query_total_ms,
+                        summary.read_amplification,
+                    ]
+                ],
+            )
+        )
+    if summary.other_types:
+        rows = [
+            [etype, count] for etype, count in sorted(summary.other_types.items())
+        ]
+        parts.append("")
+        parts.append("other events")
+        parts.append(_table(["type", "count"], rows))
+    return "\n".join(parts)

@@ -13,12 +13,14 @@ modelled latency (Figures 13/14/20) follow.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import QueryError
 from ..lsm.base import Snapshot
+from ..obs.telemetry import Telemetry
 
 __all__ = ["QueryStats", "execute_range_query"]
 
@@ -59,7 +61,11 @@ class QueryStats:
 
 
 def execute_range_query(
-    snapshot: Snapshot, lo: float, hi: float, collect: bool = False
+    snapshot: Snapshot,
+    lo: float,
+    hi: float,
+    collect: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> QueryStats:
     """Run ``lo <= t_g <= hi`` against a snapshot.
 
@@ -68,9 +74,17 @@ def execute_range_query(
     ``collect=True`` the matching generation times are materialised,
     sorted, in :attr:`QueryStats.rows` (metrics are identical either
     way; collection just costs the copy).
+
+    With a ``telemetry`` bus attached (e.g. ``engine.telemetry``) each
+    query emits a ``{"type": "query"}`` event carrying its wall-clock
+    duration and cost counters, and increments the read-amplification
+    counters ``query.count`` / ``query.result_points`` /
+    ``query.disk_points_read`` / ``query.files_touched``.
     """
     if hi < lo:
         raise QueryError(f"inverted query range: [{lo}, {hi}]")
+    traced = telemetry is not None and telemetry.enabled
+    started = time.monotonic() if traced else 0.0
     result = 0
     disk_read = 0
     files = 0
@@ -113,7 +127,7 @@ def execute_range_query(
         else:
             rows = np.empty(0, dtype=np.float64)
             row_ids = np.empty(0, dtype=np.int64)
-    return QueryStats(
+    stats = QueryStats(
         lo=lo,
         hi=hi,
         result_points=result,
@@ -123,3 +137,26 @@ def execute_range_query(
         rows=rows,
         row_ids=row_ids,
     )
+    if traced:
+        duration_ms = (time.monotonic() - started) * 1_000.0
+        telemetry.emit(
+            {
+                "type": "query",
+                "lo": lo,
+                "hi": hi,
+                "duration_ms": duration_ms,
+                "result_points": result,
+                "disk_points_read": disk_read,
+                "files_touched": files,
+                "memtable_points_scanned": mem_scanned,
+                "tables_total": len(snapshot.tables),
+                "memtables_total": len(snapshot.memtables),
+            }
+        )
+        telemetry.count("query.count")
+        telemetry.count("query.result_points", result)
+        telemetry.count("query.disk_points_read", disk_read)
+        telemetry.count("query.files_touched", files)
+        telemetry.count("query.memtable_points_scanned", mem_scanned)
+        telemetry.observe("query.duration_ms", duration_ms)
+    return stats

@@ -1,0 +1,107 @@
+"""CLI smoke tests: telemetry-report subcommand, --trace, exit codes."""
+
+import json
+
+import pytest
+
+from repro import (
+    LogNormalDelay,
+    LsmConfig,
+    SeparationEngine,
+    execute_range_query,
+    reset_global_telemetry,
+)
+from repro.cli import main
+from repro.workloads import generate_synthetic
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_telemetry():
+    yield
+    reset_global_telemetry()
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    """A real JSONL trace captured from a separation engine run."""
+    path = tmp_path / "trace.jsonl"
+    dataset = generate_synthetic(
+        10_000, dt=50, delay=LogNormalDelay(5.0, 2.0), seed=2
+    )
+    engine = SeparationEngine(
+        LsmConfig(128, 128, seq_capacity=64).with_telemetry(f"jsonl:{path}")
+    )
+    engine.ingest(dataset.tg)
+    engine.flush_all()
+    execute_range_query(
+        engine.snapshot(), 0.0, 1e9, telemetry=engine.telemetry
+    )
+    engine.telemetry.close()
+    return path
+
+
+class TestTelemetryReport:
+    def test_renders_summary(self, capsys, trace_path):
+        assert main(["telemetry-report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "flush" in out
+        assert "merge" in out
+        assert "queries" in out
+
+    def test_missing_file_fails(self, capsys, tmp_path):
+        assert main(["telemetry-report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_trace_fails(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        assert main(["telemetry-report", str(path)]) == 1
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_missing_argument_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["telemetry-report"])
+        assert excinfo.value.code == 2
+
+
+class TestExitCodes:
+    def test_unknown_flag_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table02", "--bogus"])
+        assert excinfo.value.code == 2
+
+    def test_no_arguments_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_experiment_returns_1(self, capsys):
+        assert main(["fig99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_scale_value_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table02", "--scale", "not-a-number"])
+        assert excinfo.value.code == 2
+
+
+class TestTraceOption:
+    def test_experiment_run_writes_trace(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["table02", "--scale", "0.05", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"telemetry trace written to {path}" in out
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        spans = [e for e in events if e.get("type") == "span"]
+        experiment_spans = [e for e in spans if e["name"] == "experiment"]
+        assert len(experiment_spans) == 1
+        assert experiment_spans[0]["experiment_id"] == "table02"
+        assert experiment_spans[0]["duration_ms"] > 0
+        # And the captured trace feeds back into the report subcommand.
+        assert main(["telemetry-report", str(path)]) == 0
+        assert "experiment" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""WriteStats hardening: id validation and wa_timeline edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import ConstantDelay, EngineError, LsmConfig, SeparationEngine
+from repro.lsm.wa_tracker import CompactionEvent, WriteStats
+from repro.workloads import generate_synthetic
+
+
+def _event(kind, arrival, new, rewritten=0):
+    return CompactionEvent(
+        kind=kind,
+        arrival_index=arrival,
+        new_points=new,
+        rewritten_points=rewritten,
+        tables_rewritten=1 if rewritten else 0,
+        tables_written=1,
+    )
+
+
+class TestRecordWrittenValidation:
+    def test_negative_ids_rejected(self):
+        stats = WriteStats()
+        with pytest.raises(EngineError):
+            stats.record_written(np.array([3, -1, 5], dtype=np.int64))
+
+    def test_negative_ids_do_not_corrupt_counters(self):
+        stats = WriteStats(initial_capacity=8)
+        stats.record_written(np.arange(8, dtype=np.int64))
+        before = stats.write_counts.copy()
+        with pytest.raises(EngineError):
+            stats.record_written(np.array([-2], dtype=np.int64))
+        # The rejected batch must leave every counter untouched (the old
+        # behaviour wrapped -2 onto id 6).
+        np.testing.assert_array_equal(stats.write_counts, before)
+        assert stats.disk_writes == 8
+
+    def test_valid_ids_still_counted(self):
+        stats = WriteStats()
+        stats.record_written(np.array([0, 0, 2], dtype=np.int64))
+        np.testing.assert_array_equal(stats.write_counts, [2, 0, 1])
+
+
+class TestWaTimelineEdgeCases:
+    def test_window_larger_than_whole_stream(self):
+        stats = WriteStats()
+        stats.record_ingest(100)
+        stats.record_written(np.arange(100, dtype=np.int64))
+        stats.record_event(_event("flush", 100, 100))
+        edges, wa = stats.wa_timeline(window_points=10_000)
+        assert edges.size == 1
+        # Single window covering everything: WA == overall WA.
+        assert wa[0] == pytest.approx(stats.write_amplification)
+
+    def test_final_partial_window(self):
+        stats = WriteStats()
+        stats.record_ingest(250)
+        stats.record_written(np.arange(250, dtype=np.int64))
+        stats.record_event(_event("flush", 100, 100))
+        stats.record_event(_event("flush", 200, 100))
+        stats.record_event(_event("flush", 250, 50))
+        edges, wa = stats.wa_timeline(window_points=100)
+        assert list(edges) == [100, 200, 300]
+        # Last window holds only 50 user points but all 50 writes.
+        assert wa[-1] == pytest.approx(1.0)
+        user = np.diff(np.concatenate(([0], np.minimum(edges, 250))))
+        assert float(np.nansum(wa * user)) == pytest.approx(stats.disk_writes)
+
+    def test_flushes_but_zero_merges(self):
+        # Fully in-order data through pi_s: C_seq flushes only, and the
+        # timeline must still integrate to WA == 1.
+        dataset = generate_synthetic(4_096, dt=50, delay=ConstantDelay(0.0), seed=0)
+        engine = SeparationEngine(LsmConfig(256, 256, seq_capacity=128))
+        engine.ingest(dataset.tg)
+        engine.flush_all()
+        assert engine.stats.merge_events() == []
+        edges, wa = engine.stats.wa_timeline(window_points=256)
+        assert engine.write_amplification == pytest.approx(1.0)
+        assert np.nanmax(wa) == pytest.approx(1.0)
+        assert np.nanmin(wa) == pytest.approx(1.0)
+
+    def test_out_of_order_event_log_sorted_before_windowing(self):
+        ordered = WriteStats()
+        shuffled = WriteStats()
+        events = [
+            _event("flush", 100, 100),
+            _event("merge", 200, 100, rewritten=50),
+            _event("merge", 300, 100, rewritten=150),
+        ]
+        for stats in (ordered, shuffled):
+            stats.record_ingest(300)
+        for event in events:
+            ordered.record_event(event)
+        for event in (events[2], events[0], events[1]):  # append disorder
+            shuffled.record_event(event)
+        ordered_edges, ordered_wa = ordered.wa_timeline(window_points=100)
+        shuffled_edges, shuffled_wa = shuffled.wa_timeline(window_points=100)
+        np.testing.assert_array_equal(ordered_edges, shuffled_edges)
+        np.testing.assert_allclose(shuffled_wa, ordered_wa)
+
+    def test_empty_log_returns_empty(self):
+        stats = WriteStats()
+        edges, wa = stats.wa_timeline(window_points=64)
+        assert edges.size == 0 and wa.size == 0
+
+    def test_window_must_be_positive(self):
+        stats = WriteStats()
+        with pytest.raises(EngineError):
+            stats.wa_timeline(window_points=0)
