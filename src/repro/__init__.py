@@ -76,17 +76,28 @@ from .distributions import (
     fit_best,
 )
 from .errors import (
+    CheckpointCorruptError,
+    CheckpointError,
     ConfigError,
     DistributionError,
+    EngineClosedError,
     EngineError,
     ExperimentError,
+    FaultError,
     FittingError,
+    InjectedCrash,
+    InjectedFault,
+    InvariantViolation,
     ModelError,
     QueryError,
+    RecoveryError,
     ReproError,
     TelemetryError,
+    TransientIOFault,
+    WalError,
     WorkloadError,
 )
+from .faults import FAULT_SITES, FaultInjector, FaultPlan
 from .obs import (
     ConsoleSink,
     JsonlFileSink,
@@ -103,6 +114,8 @@ from .obs import (
 from .lsm import (
     AdaptiveEngine,
     FleetReport,
+    InvariantChecker,
+    RecoveryReport,
     TieredEngine,
     TimeSeriesDatabase,
     ConventionalEngine,
@@ -111,7 +124,11 @@ from .lsm import (
     MultiLevelEngine,
     SeparationEngine,
     Snapshot,
+    WriteAheadLog,
     WriteStats,
+    read_wal,
+    recover_adaptive,
+    recover_engine,
 )
 from .query import (
     AggregateResult,
@@ -178,6 +195,16 @@ __all__ = [
     "FleetReport",
     "Snapshot",
     "WriteStats",
+    # durability & fault injection
+    "WriteAheadLog",
+    "read_wal",
+    "recover_engine",
+    "recover_adaptive",
+    "RecoveryReport",
+    "InvariantChecker",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_SITES",
     # queries
     "QueryStats",
     "execute_range_query",
@@ -228,9 +255,19 @@ __all__ = [
     "DistributionError",
     "FittingError",
     "EngineError",
+    "EngineClosedError",
     "ModelError",
     "WorkloadError",
     "QueryError",
     "TelemetryError",
     "ExperimentError",
+    "WalError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "RecoveryError",
+    "InvariantViolation",
+    "FaultError",
+    "InjectedFault",
+    "InjectedCrash",
+    "TransientIOFault",
 ]

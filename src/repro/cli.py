@@ -8,6 +8,9 @@ Usage::
     python -m repro all --scale 0.2
     python -m repro fig07 --trace trace.jsonl
     python -m repro telemetry-report trace.jsonl
+    python -m repro crash-test --engines all --seeds 3
+    python -m repro checkpoint --dir state/
+    python -m repro recover --dir state/
 """
 
 from __future__ import annotations
@@ -31,8 +34,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment id (see 'list'), 'all', 'list', or "
-            "'telemetry-report <trace.jsonl>'"
+            "experiment id (see 'list'), 'all', 'list', or a subcommand: "
+            "'telemetry-report <trace.jsonl>', 'crash-test', 'checkpoint', "
+            "'recover'"
         ),
     )
     parser.add_argument(
@@ -86,11 +90,165 @@ def _telemetry_report(argv: list[str]) -> int:
     return 0
 
 
+def _build_crash_test_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments crash-test",
+        description=(
+            "Fault-injection crash matrix: for every engine x fault kind x "
+            "seed, ingest under an armed fault, crash, recover from WAL "
+            "(+checkpoint), verify invariants, and check the recovered "
+            "write amplification equals a crash-free rerun"
+        ),
+    )
+    parser.add_argument(
+        "--engines",
+        default="all",
+        help=(
+            "comma-separated engine keys "
+            "(pi_c,pi_s,adaptive,iotdb,multilevel,tiered) or 'all'"
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="seeds per (engine, fault) cell"
+    )
+    parser.add_argument(
+        "--points", type=int, default=6000, help="points ingested per case"
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="keep WAL/checkpoint files here instead of a temp directory",
+    )
+    return parser
+
+
+def _crash_test(argv: list[str]) -> int:
+    """The ``crash-test`` subcommand; returns an exit code."""
+    from .faults.crashtest import run_crash_test
+
+    args = _build_crash_test_parser().parse_args(argv)
+    engines = (
+        None
+        if args.engines == "all"
+        else [key.strip() for key in args.engines.split(",") if key.strip()]
+    )
+    try:
+        report = run_crash_test(
+            engines=engines,
+            seeds=args.seeds,
+            n_points=args.points,
+            workdir=args.workdir,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _build_checkpoint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments checkpoint",
+        description=(
+            "Ingest a seeded synthetic fleet into a WAL-backed database "
+            "and checkpoint every series; 'recover --dir' revives it"
+        ),
+    )
+    parser.add_argument(
+        "--dir", required=True, dest="durability_dir",
+        help="durability directory for WALs, checkpoints and the manifest",
+    )
+    parser.add_argument(
+        "--series", type=int, default=3, help="number of series to ingest"
+    )
+    parser.add_argument(
+        "--points", type=int, default=20_000, help="points per series"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    return parser
+
+
+def _checkpoint(argv: list[str]) -> int:
+    """The ``checkpoint`` subcommand; returns an exit code."""
+    from .distributions import ExponentialDelay
+    from .lsm import TimeSeriesDatabase
+    from .workloads import generate_synthetic
+
+    args = _build_checkpoint_parser().parse_args(argv)
+    try:
+        db = TimeSeriesDatabase(durability_dir=args.durability_dir)
+        for index in range(args.series):
+            dataset = generate_synthetic(
+                args.points,
+                dt=1.0,
+                delay=ExponentialDelay(mean=40.0),
+                seed=args.seed + index,
+            )
+            db.write(f"series-{index}", dataset.tg, dataset.ta)
+        manifest = db.checkpoint_all()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for name in db.series_names():
+        engine = db.series(name).engine
+        print(
+            f"{name}: {engine.ingested_points} points, "
+            f"wa={engine.write_amplification:.3f}"
+        )
+    print(f"[checkpoint manifest written to {manifest}]")
+    return 0
+
+
+def _build_recover_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments recover",
+        description=(
+            "Recover a database from a durability directory: restore each "
+            "series' checkpoint (falling back to full WAL replay when "
+            "corrupt), replay the WAL tail, and verify invariants"
+        ),
+    )
+    parser.add_argument(
+        "--dir", required=True, dest="durability_dir",
+        help="durability directory written by 'checkpoint'",
+    )
+    return parser
+
+
+def _recover(argv: list[str]) -> int:
+    """The ``recover`` subcommand; returns an exit code."""
+    from .lsm import TimeSeriesDatabase
+
+    args = _build_recover_parser().parse_args(argv)
+    try:
+        db = TimeSeriesDatabase.recover(args.durability_dir)
+        for name in db.series_names():
+            engine = db.series(name).engine
+            engine.verify()
+            print(
+                f"{name}: recovered {engine.ingested_points} points, "
+                f"wa={engine.write_amplification:.3f}, invariants ok"
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"[recovered {len(db)} series from {args.durability_dir}]")
+    return 0
+
+
+_SUBCOMMANDS = {
+    "telemetry-report": _telemetry_report,
+    "crash-test": _crash_test,
+    "checkpoint": _checkpoint,
+    "recover": _recover,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "telemetry-report":
-        return _telemetry_report(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for experiment_id in experiment_ids():

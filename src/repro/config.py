@@ -48,6 +48,20 @@ class LsmConfig:
         (ring buffer, the default), ``"console"`` (JSON lines to
         stderr) or ``"jsonl:<path>"`` (append-mode trace file readable
         by ``repro telemetry-report``).
+    wal_path:
+        When set, the engine appends every ingested batch to a
+        binary-framed, checksummed write-ahead log at this path *before*
+        MemTable placement, enabling crash recovery
+        (:mod:`repro.lsm.recovery`).  ``None`` (the default) keeps the
+        ingest path WAL-free: durability off costs one branch.
+    wal_fsync:
+        When True every WAL append is fsync'd; when False (default) the
+        record is flushed to the OS only, which is what the simulated
+        crash model needs and keeps tests fast.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` describing deterministic
+        faults to inject at the write path's fault sites.  ``None`` (the
+        default) disables injection entirely.
     """
 
     memory_budget: int = DEFAULT_MEMORY_BUDGET
@@ -55,6 +69,9 @@ class LsmConfig:
     seq_capacity: int | None = None
     telemetry_enabled: bool = False
     telemetry_sink: str = "memory"
+    wal_path: str | None = None
+    wal_fsync: bool = False
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
         # Validate the sink spec eagerly so a typo fails at config time,
@@ -63,6 +80,20 @@ class LsmConfig:
         from .obs.sinks import parse_sink_spec
 
         parse_sink_spec(self.telemetry_sink)
+        if self.wal_path is not None and (
+            not isinstance(self.wal_path, str) or not self.wal_path
+        ):
+            raise ConfigError(
+                f"wal_path must be a non-empty string or None, got {self.wal_path!r}"
+            )
+        if self.fault_plan is not None:
+            from .faults.injector import FaultPlan
+
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ConfigError(
+                    "fault_plan must be a repro.faults.FaultPlan or None, "
+                    f"got {type(self.fault_plan).__name__}"
+                )
         if self.memory_budget < 2:
             raise ConfigError(
                 f"memory_budget must be >= 2, got {self.memory_budget}"

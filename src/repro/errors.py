@@ -44,6 +44,46 @@ class QueryError(ReproError):
     """A query was malformed (e.g. inverted time range)."""
 
 
+class WalError(EngineError):
+    """The write-ahead log was misused or its file is malformed."""
+
+
+class CheckpointError(EngineError):
+    """A checkpoint could not be written or read."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed its integrity check (torn/corrupt page)."""
+
+
+class RecoveryError(EngineError):
+    """Crash recovery could not reconstruct a consistent engine."""
+
+
+class InvariantViolation(EngineError):
+    """A crash-consistency invariant does not hold on the engine state."""
+
+
+class FaultError(ReproError):
+    """Base class for errors raised by the fault-injection subsystem."""
+
+
+class InjectedFault(FaultError):
+    """Base class for deliberately injected failures (never a real bug)."""
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated process crash at an injected fault point.
+
+    Escapes the engine on purpose: the "process" died at this boundary,
+    and the harness recovers a fresh engine from the WAL + checkpoint.
+    """
+
+
+class TransientIOFault(InjectedFault):
+    """A simulated transient I/O error (succeeds when retried)."""
+
+
 class TelemetryError(ReproError):
     """The telemetry subsystem was misused (bad metric, malformed trace)."""
 

@@ -1,0 +1,218 @@
+"""Deterministic fault injection for the durability subsystem.
+
+A :class:`FaultPlan` is a frozen, seedable description of *which* faults
+to inject and *when* (trigger-counted: "crash on the 3rd merge"), so a
+crash-test run is exactly reproducible from its seed.  A
+:class:`FaultInjector` executes one plan: engines, the WAL and the
+checkpoint writer call :meth:`FaultInjector.fire` at their fault sites
+and the injector either returns (no fault armed for this occurrence) or
+raises :class:`~repro.errors.InjectedCrash` /
+:class:`~repro.errors.TransientIOFault`.
+
+Sites instrumented across the write path:
+
+* ``"flush"`` / ``"merge"`` — fired *before* any state is mutated, so a
+  crash at the boundary leaves the engine in its pre-compaction state.
+* ``"wal.append"`` — fired mid-record by the WAL so a crash here leaves
+  a *torn tail* (a partially written record) for recovery to truncate.
+* ``"checkpoint.write"`` — fired after a checkpoint lands on disk; the
+  injector then corrupts bytes inside the file to simulate a torn page.
+
+Disabled injection is literally absent: engines hold ``faults=None`` and
+the hot path pays one ``is None`` branch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FaultError, InjectedCrash, TransientIOFault
+
+__all__ = ["FAULT_SITES", "FaultPlan", "FaultInjector"]
+
+#: Every fault site an injector may be asked to fire at.
+FAULT_SITES = ("flush", "merge", "wal.append", "checkpoint.write")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Frozen description of the faults one injector will deliver.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the injector's private RNG (used only for byte-level
+        corruption offsets, so runs are bit-reproducible).
+    crash_at_flush / crash_at_merge:
+        1-based occurrence of the site at which to raise
+        :class:`InjectedCrash` (``None`` disables).  The crash fires at
+        the *boundary*, before any engine state mutates.
+    torn_wal_append_at:
+        1-based WAL append at which to simulate a torn write: the WAL
+        persists only a prefix of the record, then the process "dies".
+    corrupt_checkpoint:
+        When True, every checkpoint written while this plan is active is
+        corrupted in place after the atomic rename (simulating a bad
+        page), so recovery must detect the damage and fall back to a
+        full WAL replay.
+    transient_flush_faults / transient_merge_faults:
+        Number of leading flush/merge attempts that raise
+        :class:`TransientIOFault` before succeeding.  Engines retry
+        these with bounded exponential backoff.
+    max_retries:
+        Retry budget engines are allowed per compaction before they give
+        up and re-raise the transient fault.
+    backoff_base_s:
+        Base of the exponential backoff (attempt ``k`` sleeps
+        ``backoff_base_s * 2**(k-1)``); kept tiny so tests stay fast.
+    """
+
+    seed: int = 0
+    crash_at_flush: int | None = None
+    crash_at_merge: int | None = None
+    torn_wal_append_at: int | None = None
+    corrupt_checkpoint: bool = False
+    transient_flush_faults: int = 0
+    transient_merge_faults: int = 0
+    max_retries: int = 5
+    backoff_base_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        for name in ("crash_at_flush", "crash_at_merge", "torn_wal_append_at"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise FaultError(f"{name} must be >= 1, got {value}")
+        for name in ("transient_flush_faults", "transient_merge_faults"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be non-negative")
+        if self.max_retries < 0:
+            raise FaultError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise FaultError(
+                f"backoff_base_s must be non-negative, got {self.backoff_base_s}"
+            )
+
+    @property
+    def any_armed(self) -> bool:
+        """True when this plan can inject at least one fault."""
+        return (
+            self.crash_at_flush is not None
+            or self.crash_at_merge is not None
+            or self.torn_wal_append_at is not None
+            or self.corrupt_checkpoint
+            or self.transient_flush_faults > 0
+            or self.transient_merge_faults > 0
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Executes one :class:`FaultPlan`; counts every site occurrence.
+
+    One injector instance is shared by everything belonging to one
+    logical engine (the engine itself, its WAL, its checkpoints, and —
+    for :class:`~repro.lsm.AdaptiveEngine` — every inner engine across
+    policy switches), so trigger counts survive internal reconstruction.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Occurrences seen per site (incremented on every ``fire``).
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Faults actually delivered, as ``(site, kind)`` tuples.
+    injected: list[tuple[str, str]] = field(default_factory=list)
+    #: Remaining transient faults per site.
+    _transient_left: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._transient_left = {
+            "flush": self.plan.transient_flush_faults,
+            "merge": self.plan.transient_merge_faults,
+        }
+
+    # -- firing ----------------------------------------------------------------
+
+    def fire(self, site: str) -> None:
+        """Record one occurrence of ``site``; raise if a fault is armed."""
+        if site not in FAULT_SITES:
+            raise FaultError(f"unknown fault site {site!r}; expected one of {FAULT_SITES}")
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        if site == "flush" or site == "merge":
+            left = self._transient_left.get(site, 0)
+            if left > 0:
+                self._transient_left[site] = left - 1
+                self.injected.append((site, "transient"))
+                raise TransientIOFault(
+                    f"injected transient I/O error at {site} #{count}"
+                )
+            armed = (
+                self.plan.crash_at_flush
+                if site == "flush"
+                else self.plan.crash_at_merge
+            )
+            if armed is not None and count == armed:
+                self.injected.append((site, "crash"))
+                raise InjectedCrash(f"injected crash at {site} boundary #{count}")
+        elif site == "wal.append":
+            if (
+                self.plan.torn_wal_append_at is not None
+                and count == self.plan.torn_wal_append_at
+            ):
+                self.injected.append((site, "torn"))
+                raise InjectedCrash(
+                    f"injected crash mid-append (torn WAL record #{count})"
+                )
+
+    def after_checkpoint_write(self, path: str, spare_prefix: int = 0) -> None:
+        """Hook fired once a checkpoint file has landed on disk.
+
+        Counts the ``checkpoint.write`` occurrence and — when the plan
+        arms it — corrupts the freshly written file in place, modelling
+        a torn page that only the reader's checksum can catch.
+        """
+        self.fire("checkpoint.write")
+        if self.plan.corrupt_checkpoint:
+            self.corrupt_file(path, spare_prefix=spare_prefix)
+            self.injected.append(("checkpoint.write", "corrupt"))
+
+    def torn_prefix_bytes(self, record_bytes: int) -> int:
+        """How many bytes of a torn record actually reached the disk.
+
+        Strictly less than ``record_bytes`` so the tail is detectably
+        incomplete; at least one byte so there *is* a torn tail.
+        """
+        if record_bytes <= 1:
+            return record_bytes
+        return int(self._rng.integers(1, record_bytes))
+
+    def corrupt_file(self, path: str, spare_prefix: int = 0) -> None:
+        """Flip one byte of ``path`` at a seeded offset (torn-page model).
+
+        ``spare_prefix`` protects the leading bytes (e.g. a magic header)
+        so corruption lands in the body and must be caught by the
+        checksum, not by trivial header checks.
+        """
+        size = os.path.getsize(path)
+        if size <= spare_prefix:
+            return
+        offset = int(self._rng.integers(spare_prefix, size))
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def injected_count(self) -> int:
+        """Total faults delivered so far."""
+        return len(self.injected)
+
+    def occurrences(self, site: str) -> int:
+        """How many times ``site`` has fired."""
+        return self.counts.get(site, 0)

@@ -14,22 +14,32 @@ point", Section III).  Engines:
   query experiments).
 * :class:`MultiLevelEngine` — textbook size-ratio-``T`` leveling, the
   general-WA baseline contrasted in Section VII-A.
+
+Durability (see :doc:`docs/durability`): every engine can write a
+checksummed WAL before MemTable placement (:mod:`repro.lsm.wal`),
+checkpoint/restore its full state (:mod:`repro.lsm.checkpoint`), recover
+from a crash (:mod:`repro.lsm.recovery`), and verify crash-consistency
+invariants (:mod:`repro.lsm.invariants`).
 """
 
 from .adaptive import AdaptiveEngine
 from .base import LsmEngine, MemTableView, Snapshot
+from .checkpoint import read_checkpoint, write_checkpoint
 from .compaction import merge_tables_with_batch
 from .conventional import ConventionalEngine
 from .database import FleetReport, SeriesState, TimeSeriesDatabase
+from .invariants import InvariantChecker
 from .iotdb_style import IoTDBStyleEngine
 from .level import Run
 from .memtable import MemTable
 from .multilevel import MultiLevelEngine
 from .points import PointBatch, sort_by_generation
+from .recovery import RecoveryReport, recover_adaptive, recover_engine
 from .separation import SeparationEngine
 from .sstable import SSTable, build_sstables
 from .tiered import TieredEngine
 from .wa_tracker import CompactionEvent, WriteStats
+from .wal import WalReadResult, WalRecord, WriteAheadLog, read_wal
 
 __all__ = [
     "LsmEngine",
@@ -53,4 +63,14 @@ __all__ = [
     "merge_tables_with_batch",
     "CompactionEvent",
     "WriteStats",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalReadResult",
+    "read_wal",
+    "write_checkpoint",
+    "read_checkpoint",
+    "recover_engine",
+    "recover_adaptive",
+    "RecoveryReport",
+    "InvariantChecker",
 ]

@@ -16,6 +16,7 @@ times.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 
 import numpy as np
@@ -23,12 +24,14 @@ import numpy as np
 from ..config import LsmConfig
 from ..core.analyzer import DelayAnalyzer
 from ..core.tuning import SEPARATION, PolicyDecision
-from ..errors import EngineError
+from ..errors import EngineClosedError, EngineError
+from ..faults.injector import FaultInjector
 from ..obs.telemetry import Telemetry, build_telemetry
 from .base import Snapshot
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
 from .wa_tracker import WriteStats
+from .wal import WriteAheadLog
 
 __all__ = ["AdaptiveEngine"]
 
@@ -47,6 +50,7 @@ class AdaptiveEngine:
         check_interval: int = 8192,
         min_seq_change: float = 0.05,
         telemetry: Telemetry | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if check_interval < 1:
             raise EngineError(f"check_interval must be >= 1, got {check_interval}")
@@ -65,10 +69,37 @@ class AdaptiveEngine:
         )
         self.check_interval = check_interval
         self.min_seq_change = min_seq_change
+        #: Shared fault injector: one per logical engine, handed to each
+        #: inner engine so trigger counts survive policy switches.
+        if faults is not None:
+            self.faults = faults
+        elif self.config.fault_plan is not None:
+            self.faults = FaultInjector(self.config.fault_plan)
+        else:
+            self.faults = None
+        #: The WAL lives on the wrapper, not the inner engines — records
+        #: carry (tg, ta) pairs so recovery can replay through the
+        #: analyzer; inner engines get a durability-stripped config.
+        self._wal: WriteAheadLog | None = (
+            WriteAheadLog(
+                self.config.wal_path,
+                fsync=self.config.wal_fsync,
+                faults=self.faults,
+            )
+            if self.config.wal_path
+            else None
+        )
+        self._inner_config = dataclasses.replace(
+            self.config, wal_path=None, fault_plan=None
+        )
         self._engine: ConventionalEngine | SeparationEngine = ConventionalEngine(
-            self.config, stats=self.stats, telemetry=self.telemetry
+            self._inner_config,
+            stats=self.stats,
+            telemetry=self.telemetry,
+            faults=self.faults,
         )
         self._since_check = 0
+        self._closed = False
         #: ``(arrival_index, PolicyDecision)`` for every retune performed.
         self.decision_log: list[tuple[int, PolicyDecision]] = []
         #: ``(arrival_index, policy_label)`` for every actual switch.
@@ -78,10 +109,20 @@ class AdaptiveEngine:
 
     def ingest(self, tg: np.ndarray, ta: np.ndarray) -> None:
         """Feed aligned generation/arrival timestamp batches (arrival order)."""
+        if self._closed:
+            raise EngineClosedError(f"{self.policy_name}: engine is closed")
         tg = np.ascontiguousarray(tg, dtype=np.float64)
         ta = np.ascontiguousarray(ta, dtype=np.float64)
         if tg.shape != ta.shape:
             raise EngineError(f"tg and ta must align: {tg.shape} vs {ta.shape}")
+        if tg.size == 0:
+            return
+        if self._wal is not None:
+            self._wal.append(tg, start_id=self.ingested_points, ta=ta)
+        self._ingest_pairs(tg, ta)
+
+    def _ingest_pairs(self, tg: np.ndarray, ta: np.ndarray) -> None:
+        """Feed validated pairs — shared by ingest and WAL replay."""
         pos = 0
         while pos < tg.size:
             take = min(self.check_interval - self._since_check, tg.size - pos)
@@ -96,8 +137,26 @@ class AdaptiveEngine:
                 self._maybe_retune()
 
     def flush_all(self) -> None:
-        """Persist any buffered points."""
+        """Persist any buffered points.
+
+        Raises :class:`~repro.errors.EngineClosedError` once closed, like
+        every other engine.
+        """
+        if self._closed:
+            raise EngineClosedError(f"{self.policy_name}: engine is closed")
         self._engine.flush_all()
+
+    def close(self) -> None:
+        """Flush buffers and refuse further ingestion."""
+        if not self._closed:
+            self.flush_all()
+            self._closed = True
+            if self._wal is not None:
+                self._wal.close()
+
+    def verify(self) -> None:
+        """Run the crash-consistency invariants over the active engine."""
+        self._engine.verify()
 
     # -- retuning ---------------------------------------------------------------
 
@@ -135,21 +194,23 @@ class AdaptiveEngine:
         old = self._engine
         old.flush_all()
         if decision.policy == SEPARATION:
-            config = self.config.with_seq_capacity(decision.seq_capacity)
+            config = self._inner_config.with_seq_capacity(decision.seq_capacity)
             self._engine = SeparationEngine(
                 config,
                 stats=self.stats,
                 run=old.run,
                 start_id=old.ingested_points,
                 telemetry=self.telemetry,
+                faults=self.faults,
             )
         else:
             self._engine = ConventionalEngine(
-                self.config,
+                self._inner_config,
                 stats=self.stats,
                 run=old.run,
                 start_id=old.ingested_points,
                 telemetry=self.telemetry,
+                faults=self.faults,
             )
         logger.info(
             "pi_adaptive switch at arrival %d: -> %s",
@@ -185,6 +246,11 @@ class AdaptiveEngine:
     def write_amplification(self) -> float:
         """Measured WA over the whole run (all policies combined)."""
         return self.stats.write_amplification
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The wrapper's write-ahead log (``None`` when durability is off)."""
+        return self._wal
 
     def snapshot(self) -> Snapshot:
         """Read view of the active engine."""

@@ -1,4 +1,4 @@
-"""Engine interface and read snapshots.
+"""Engine interface, read snapshots, and the durability contract.
 
 An engine consumes a stream of generation times *in arrival order* and
 maintains simulated disk state (a :class:`~repro.lsm.level.Run` per level)
@@ -8,20 +8,44 @@ internally, so driving millions of points stays cheap.
 
 A :class:`Snapshot` freezes the visible state (SSTables + MemTable
 contents) for the query layer.
+
+Durability (all opt-in, one branch on the hot path when off):
+
+* With ``LsmConfig.wal_path`` set, every ingested batch is framed into a
+  checksummed write-ahead log *before* MemTable placement
+  (:mod:`repro.lsm.wal`).
+* :meth:`LsmEngine.save_checkpoint` / :meth:`LsmEngine.restore`
+  serialise/revive the full engine state (:mod:`repro.lsm.checkpoint`);
+  :mod:`repro.lsm.recovery` combines both into crash recovery.
+* With ``LsmConfig.fault_plan`` set, flush/merge boundaries fire a
+  :class:`~repro.faults.FaultInjector`: injected crashes escape before
+  any state mutates, and transient I/O faults are retried with bounded
+  exponential backoff.
+* :meth:`LsmEngine.verify` runs the crash-consistency invariants
+  (:mod:`repro.lsm.invariants`) over the live state.
 """
 
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..config import LsmConfig
-from ..errors import EngineClosedError, EngineError
+from ..errors import (
+    CheckpointError,
+    EngineClosedError,
+    EngineError,
+    InjectedCrash,
+    TransientIOFault,
+)
+from ..faults.injector import FaultInjector
 from ..obs.telemetry import Telemetry, build_telemetry
 from .sstable import SSTable
 from .wa_tracker import WriteStats
+from .wal import WriteAheadLog
 
 __all__ = ["LsmEngine", "Snapshot", "MemTableView"]
 
@@ -86,6 +110,7 @@ class LsmEngine(abc.ABC):
         stats: WriteStats | None = None,
         start_id: int = 0,
         telemetry: Telemetry | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if start_id < 0:
             raise EngineError(f"start_id must be non-negative, got {start_id}")
@@ -98,6 +123,24 @@ class LsmEngine(abc.ABC):
         )
         if self.telemetry.enabled:
             self.stats.bind_telemetry(self.telemetry)
+        #: Fault injector for this engine's write path; ``None`` (the
+        #: default without a ``fault_plan``) keeps injection absent.
+        #: Passed explicitly by wrappers (``AdaptiveEngine``) so trigger
+        #: counts survive inner-engine reconstruction.
+        if faults is not None:
+            self.faults = faults
+        elif config.fault_plan is not None:
+            self.faults = FaultInjector(config.fault_plan)
+        else:
+            self.faults = None
+        #: Write-ahead log; ``None`` (the default) means no durability.
+        self._wal: WriteAheadLog | None = (
+            WriteAheadLog(
+                config.wal_path, fsync=config.wal_fsync, faults=self.faults
+            )
+            if config.wal_path
+            else None
+        )
         self._next_id = start_id
         # Arrival index of the last point actually placed in a MemTable;
         # flush/merge events stamp this so WA timelines line up with the
@@ -112,19 +155,35 @@ class LsmEngine(abc.ABC):
 
         Ids are assigned sequentially (the arrival index), continuing
         across calls, so per-point write counters line up with the
-        workload's arrival order.
+        workload's arrival order.  With a WAL configured, the batch is
+        made durable *before* any MemTable placement: a crash at any
+        later boundary loses nothing that was acknowledged.
         """
+        arr = self._validate_batch(tg)
+        if arr.size == 0:
+            return
+        if self._wal is not None:
+            self._wal.append(arr, start_id=self._next_id)
+        self._ingest_validated(arr)
+
+    def _validate_batch(self, tg: np.ndarray) -> np.ndarray:
         if self._closed:
             raise EngineClosedError(f"{self.policy_name}: engine is closed")
         arr = np.ascontiguousarray(tg, dtype=np.float64)
         if arr.ndim != 1:
             raise EngineError(f"ingest expects a 1-d array, got shape {arr.shape}")
-        if arr.size == 0:
-            return
-        if not np.all(np.isfinite(arr)):
+        if arr.size and not np.all(np.isfinite(arr)):
             raise EngineError(
                 "generation times must be finite; got NaN/inf in the batch"
             )
+        return arr
+
+    def _ingest_validated(self, arr: np.ndarray) -> None:
+        """Place a validated batch — shared by ingest and WAL replay.
+
+        Recovery feeds durable WAL records through here so the replayed
+        points are *not* re-appended to the WAL they came from.
+        """
         ids = np.arange(self._next_id, self._next_id + arr.size, dtype=np.int64)
         self._next_id += arr.size
         self.stats.record_ingest(arr.size)
@@ -143,15 +202,208 @@ class LsmEngine(abc.ABC):
     def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
         """Policy-specific ingestion of an id-assigned batch."""
 
-    @abc.abstractmethod
     def flush_all(self) -> None:
-        """Persist any buffered points (end-of-workload drain)."""
+        """Persist any buffered points (end-of-workload drain).
+
+        Raises :class:`~repro.errors.EngineClosedError` on a closed
+        engine — a closed engine's state must never mutate again.
+        """
+        self._ensure_open()
+        self._flush_buffers()
+
+    @abc.abstractmethod
+    def _flush_buffers(self) -> None:
+        """Policy-specific drain of every MemTable."""
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError(f"{self.policy_name}: engine is closed")
 
     def close(self) -> None:
         """Flush buffers and refuse further ingestion."""
         if not self._closed:
             self.flush_all()
             self._closed = True
+            if self._wal is not None:
+                self._wal.close()
+
+    # -- fault boundaries -------------------------------------------------------
+
+    def _fault_boundary(self, site: str) -> None:
+        """Fire the injector at ``site`` before any state mutates.
+
+        Injected crashes escape immediately (the simulated process
+        dies); transient I/O faults are retried with bounded exponential
+        backoff, counted on the telemetry bus, and re-raised only once
+        the retry budget is exhausted.
+        """
+        faults = self.faults
+        if faults is None:
+            return
+        telemetry = self.telemetry
+        attempt = 0
+        while True:
+            try:
+                faults.fire(site)
+                return
+            except InjectedCrash:
+                if telemetry.enabled:
+                    telemetry.count("fault.injected")
+                    telemetry.emit(
+                        {
+                            "type": "fault",
+                            "site": site,
+                            "kind": "crash",
+                            "engine": self.policy_name,
+                        }
+                    )
+                raise
+            except TransientIOFault:
+                attempt += 1
+                if telemetry.enabled:
+                    telemetry.count("fault.injected")
+                    telemetry.count("fault.transient_retries")
+                    telemetry.emit(
+                        {
+                            "type": "fault",
+                            "site": site,
+                            "kind": "transient",
+                            "attempt": attempt,
+                            "engine": self.policy_name,
+                        }
+                    )
+                if attempt > faults.plan.max_retries:
+                    raise
+                backoff = faults.plan.backoff_base_s * 2 ** (attempt - 1)
+                if backoff > 0:
+                    time.sleep(backoff)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> None:
+        """Serialise the complete engine state to ``path``.
+
+        The checkpoint carries the runs, MemTables, write statistics and
+        cursors; restoring it and replaying the WAL tail past
+        ``ingested_points`` reproduces the live state bit-for-bit
+        (modulo cosmetic SSTable sequence numbers).
+        """
+        from .checkpoint import write_checkpoint
+
+        stats_meta, arrays = self.stats.to_checkpoint()
+        state_meta = self._checkpoint_state(arrays)
+        meta = {
+            "format": 1,
+            "engine": type(self).__name__,
+            "policy": self.policy_name,
+            "config": {
+                "memory_budget": self.config.memory_budget,
+                "sstable_size": self.config.sstable_size,
+                "seq_capacity": self.config.seq_capacity,
+            },
+            "kwargs": self._checkpoint_kwargs(),
+            "next_id": self._next_id,
+            "arrival_cursor": self._arrival_cursor,
+            "stats": stats_meta,
+            "state": state_meta,
+        }
+        write_checkpoint(path, meta, arrays, faults=self.faults)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        config: LsmConfig | None = None,
+        telemetry: Telemetry | None = None,
+        faults: FaultInjector | None = None,
+    ) -> "LsmEngine":
+        """Revive the engine serialised at ``path``.
+
+        Called on a concrete class, the checkpoint must have been taken
+        by that class; called on :class:`LsmEngine` itself, the stored
+        engine name picks the class.  ``config`` overrides the restored
+        static configuration (e.g. to re-attach a ``wal_path``); the
+        core knobs (budgets, sstable size) always come from the
+        checkpoint so the restored behaviour matches the saved engine.
+        """
+        from .checkpoint import read_checkpoint
+
+        meta, arrays = read_checkpoint(path)
+        target = cls
+        if cls is LsmEngine:
+            target = _engine_registry().get(meta.get("engine"))
+            if target is None:
+                raise CheckpointError(
+                    f"{path}: unknown engine class {meta.get('engine')!r}"
+                )
+        elif meta.get("engine") != cls.__name__:
+            raise CheckpointError(
+                f"{path}: checkpoint was taken by {meta.get('engine')!r}, "
+                f"not {cls.__name__}"
+            )
+        core = meta["config"]
+        if config is None:
+            config = LsmConfig(**core)
+        else:
+            from dataclasses import replace
+
+            config = replace(
+                config,
+                memory_budget=core["memory_budget"],
+                sstable_size=core["sstable_size"],
+                seq_capacity=core["seq_capacity"],
+            )
+        engine = target(
+            config=config,
+            telemetry=telemetry,
+            faults=faults,
+            **target._decode_kwargs(meta.get("kwargs", {})),
+        )
+        engine.stats = WriteStats.from_checkpoint(meta["stats"], arrays)
+        if engine.telemetry.enabled:
+            engine.stats.bind_telemetry(engine.telemetry)
+        engine._next_id = int(meta["next_id"])
+        engine._arrival_cursor = int(meta["arrival_cursor"])
+        engine._restore_state(meta["state"], arrays)
+        return engine
+
+    def _checkpoint_kwargs(self) -> dict:
+        """Extra JSON-able constructor kwargs (size ratios, fanouts...)."""
+        return {}
+
+    @classmethod
+    def _decode_kwargs(cls, kwargs: dict) -> dict:
+        """Turn stored constructor kwargs back into live arguments."""
+        return dict(kwargs)
+
+    @abc.abstractmethod
+    def _checkpoint_state(self, arrays: dict[str, np.ndarray]) -> dict:
+        """Pack policy-specific state into ``arrays``; return its meta."""
+
+    @abc.abstractmethod
+    def _restore_state(self, state: dict, arrays: dict[str, np.ndarray]) -> None:
+        """Rebuild policy-specific state packed by :meth:`_checkpoint_state`."""
+
+    # -- invariants --------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check every crash-consistency invariant; raise on violation.
+
+        See :class:`repro.lsm.invariants.InvariantChecker` for the list:
+        sorted non-overlapping runs, point-count conservation, and
+        WA-accounting reconciliation.
+        """
+        from .invariants import InvariantChecker
+
+        InvariantChecker(self).verify()
+
+    def _sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        """Named table groups that must be sorted *and* non-overlapping."""
+        return []
+
+    def _loose_tables(self) -> list[SSTable]:
+        """Tables that may overlap each other (internal sort still holds)."""
+        return []
 
     # -- reading ---------------------------------------------------------------
 
@@ -174,8 +426,33 @@ class LsmEngine(abc.ABC):
         """Current measured WA."""
         return self.stats.write_amplification
 
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The engine's write-ahead log (``None`` when durability is off)."""
+        return self._wal
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(policy={self.policy_name}, "
             f"ingested={self.ingested_points}, wa={self.write_amplification:.3f})"
         )
+
+
+def _engine_registry() -> dict[str, type["LsmEngine"]]:
+    """Concrete engine classes by name, for checkpoint dispatch."""
+    from .conventional import ConventionalEngine
+    from .iotdb_style import IoTDBStyleEngine
+    from .multilevel import MultiLevelEngine
+    from .separation import SeparationEngine
+    from .tiered import TieredEngine
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            ConventionalEngine,
+            SeparationEngine,
+            IoTDBStyleEngine,
+            MultiLevelEngine,
+            TieredEngine,
+        )
+    }

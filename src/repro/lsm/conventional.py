@@ -19,6 +19,7 @@ import numpy as np
 
 from ..config import LsmConfig
 from .base import LsmEngine, MemTableView, Snapshot
+from .checkpoint import pack_memtable, pack_run, unpack_memtable, unpack_run
 from .compaction import merge_tables_with_batch
 from .level import Run
 from .memtable import MemTable
@@ -42,12 +43,14 @@ class ConventionalEngine(LsmEngine):
         run: Run | None = None,
         start_id: int = 0,
         telemetry=None,
+        faults=None,
     ) -> None:
         super().__init__(
             config if config is not None else LsmConfig(),
             stats,
             start_id,
             telemetry=telemetry,
+            faults=faults,
         )
         self.run = run if run is not None else Run()
         self._memtable = MemTable(self.config.memory_budget, name="C0")
@@ -63,20 +66,27 @@ class ConventionalEngine(LsmEngine):
             if self._memtable.full:
                 self._compact_memtable()
 
-    def flush_all(self) -> None:
+    def _flush_buffers(self) -> None:
         if not self._memtable.empty:
             self._compact_memtable()
 
     def _compact_memtable(self) -> None:
-        """Merge C0 into the run (leveled compaction)."""
+        """Merge C0 into the run (leveled compaction).
+
+        Staged then committed: everything is computed from a *view* of
+        the MemTable, the fault boundary fires, and only then does state
+        mutate — an injected crash leaves the engine exactly as it was.
+        """
+        mem_tg, mem_ids = self._memtable.sorted_view()
+        lo, hi = float(mem_tg[0]), float(mem_tg[-1])
+        region = self.run.overlap_slice(lo, hi)
+        victims = self.run.tables[region]
+        self._fault_boundary("merge" if victims else "flush")
         with self.telemetry.span("compaction", engine=self.policy_name) as span:
-            mem_tg, mem_ids = self._memtable.drain()
-            lo, hi = float(mem_tg[0]), float(mem_tg[-1])
-            region = self.run.overlap_slice(lo, hi)
-            victims = self.run.tables[region]
             merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
             new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
             self.run.replace(region, new_tables)
+            self._memtable.clear()
             rewritten = sum(len(t) for t in victims)
             span.rename("merge" if victims else "flush")
             span.set(
@@ -114,3 +124,19 @@ class ConventionalEngine(LsmEngine):
                 ids=self._memtable.peek_ids(),
             ))
         return Snapshot(tables=list(self.run.tables), memtables=views)
+
+    # -- durability hooks ------------------------------------------------------
+
+    def _checkpoint_state(self, arrays) -> dict:
+        pack_run(arrays, "run", self.run)
+        pack_memtable(arrays, "mem.c0", self._memtable)
+        return {}
+
+    def _restore_state(self, state: dict, arrays) -> None:
+        self.run = unpack_run(arrays, "run")
+        self._memtable = unpack_memtable(
+            arrays, "mem.c0", self.config.memory_budget, "C0"
+        )
+
+    def _sorted_table_groups(self):
+        return [("run", list(self.run.tables))]

@@ -12,20 +12,35 @@ statistics aggregate per-series WA and policy choices.
 
 from __future__ import annotations
 
+import json
+import os
+import re
 from dataclasses import dataclass
+from zlib import crc32
 
 import numpy as np
 
 from ..config import LsmConfig
 from ..core.analyzer import DelayAnalyzer
 from ..core.tuning import SEPARATION, PolicyDecision
-from ..errors import EngineError
+from ..errors import EngineError, RecoveryError
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .base import Snapshot
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
 
 __all__ = ["SeriesState", "FleetReport", "TimeSeriesDatabase"]
+
+_SERIES_ENGINES = {
+    "ConventionalEngine": ConventionalEngine,
+    "SeparationEngine": SeparationEngine,
+}
+
+
+def _series_file_stem(name: str) -> str:
+    """Filesystem-safe, collision-free stem for one series' files."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)[:80]
+    return f"{safe}-{crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 @dataclass
@@ -92,6 +107,13 @@ class TimeSeriesDatabase:
         Shared event bus for the whole database: per-series engines
         publish their flush/merge events to it and the router counts
         written batches/points per series.  Defaults to the no-op bus.
+    durability_dir:
+        When set, every series keeps a write-ahead log under this
+        directory, :meth:`checkpoint_all` persists per-series engine
+        checkpoints plus a manifest, and :meth:`recover` revives the
+        whole database from them.  Analyzer state is *not* durable: a
+        recovered database restarts its delay profiles and re-tunes once
+        enough new observations accumulate.
     """
 
     def __init__(
@@ -100,6 +122,7 @@ class TimeSeriesDatabase:
         sstable_size: int = 512,
         auto_tune: bool = True,
         telemetry: Telemetry | None = None,
+        durability_dir: str | None = None,
     ) -> None:
         if memory_budget_per_series < 2:
             raise EngineError("memory_budget_per_series must be >= 2")
@@ -108,6 +131,9 @@ class TimeSeriesDatabase:
         )
         self.auto_tune = auto_tune
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.durability_dir = durability_dir
+        if durability_dir:
+            os.makedirs(durability_dir, exist_ok=True)
         self._series: dict[str, SeriesState] = {}
         self._had_disorder: dict[str, bool] = {}
         self._last_tg: dict[str, float] = {}
@@ -137,6 +163,7 @@ class TimeSeriesDatabase:
             ),
             sstable_size=self.config.sstable_size,
             seq_capacity=seq_capacity,
+            wal_path=self._wal_path(name),
         )
         analyzer = (
             DelayAnalyzer(
@@ -277,7 +304,131 @@ class TimeSeriesDatabase:
                 start_id=old.ingested_points,
                 telemetry=self.telemetry,
             )
+        # The replacement engine appends to the same WAL file; release
+        # the superseded engine's handle so only one writer holds it.
+        if old.wal is not None:
+            old.wal.close()
         return True
+
+    # -- durability ---------------------------------------------------------------------
+
+    def _wal_path(self, name: str) -> str | None:
+        if not self.durability_dir:
+            return None
+        return os.path.join(self.durability_dir, f"{_series_file_stem(name)}.wal")
+
+    def _checkpoint_path(self, name: str) -> str:
+        return os.path.join(self.durability_dir, f"{_series_file_stem(name)}.ckpt")
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.durability_dir, "manifest.json")
+
+    def checkpoint_all(self) -> str:
+        """Checkpoint every series engine and write the manifest.
+
+        Returns the manifest path.  Requires ``durability_dir``.  A
+        recovered database restores each checkpoint and replays only the
+        WAL tail written after it.
+        """
+        if not self.durability_dir:
+            raise EngineError("checkpoint_all requires a durability_dir")
+        manifest: dict = {
+            "format": 1,
+            "memory_budget_per_series": self.config.memory_budget,
+            "sstable_size": self.config.sstable_size,
+            "auto_tune": self.auto_tune,
+            "series": {},
+        }
+        for state in self._series.values():
+            checkpoint = self._checkpoint_path(state.name)
+            state.engine.save_checkpoint(checkpoint)
+            manifest["series"][state.name] = {
+                "engine": type(state.engine).__name__,
+                "wal": os.path.basename(self._wal_path(state.name)),
+                "checkpoint": os.path.basename(checkpoint),
+                "memory_budget": state.config.memory_budget,
+                "seq_capacity": (
+                    state.engine.seq_capacity
+                    if isinstance(state.engine, SeparationEngine)
+                    else None
+                ),
+                "had_disorder": self._had_disorder[state.name],
+                "last_tg": self._last_tg[state.name],
+            }
+        tmp = f"{self._manifest_path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, sort_keys=True, indent=2)
+        os.replace(tmp, self._manifest_path)
+        if self.telemetry.enabled:
+            self.telemetry.count("db.checkpoints")
+        return self._manifest_path
+
+    @classmethod
+    def recover(
+        cls,
+        durability_dir: str,
+        telemetry: Telemetry | None = None,
+    ) -> "TimeSeriesDatabase":
+        """Revive a database from ``durability_dir``.
+
+        Each series is recovered independently: checkpoint restore (when
+        the checkpoint validates) plus truncating WAL tail replay; a
+        corrupt or missing checkpoint falls back to a full WAL replay.
+        Every recovered engine is verified before the database is handed
+        back.
+        """
+        from .recovery import recover_engine
+
+        manifest_path = os.path.join(durability_dir, "manifest.json")
+        if not os.path.exists(manifest_path):
+            raise RecoveryError(f"no manifest at {manifest_path}")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        db = cls(
+            memory_budget_per_series=manifest["memory_budget_per_series"],
+            sstable_size=manifest["sstable_size"],
+            auto_tune=manifest["auto_tune"],
+            telemetry=telemetry,
+            durability_dir=durability_dir,
+        )
+        for name, entry in manifest["series"].items():
+            engine_cls = _SERIES_ENGINES.get(entry["engine"])
+            if engine_cls is None:
+                raise RecoveryError(
+                    f"series {name!r}: unknown engine {entry['engine']!r}"
+                )
+            config = LsmConfig(
+                memory_budget=entry["memory_budget"],
+                sstable_size=manifest["sstable_size"],
+                seq_capacity=entry["seq_capacity"],
+                wal_path=os.path.join(durability_dir, entry["wal"]),
+            )
+            report = recover_engine(
+                engine_cls,
+                wal_path=config.wal_path,
+                checkpoint_path=os.path.join(durability_dir, entry["checkpoint"]),
+                config=config,
+                telemetry=db.telemetry if db.telemetry.enabled else None,
+            )
+            analyzer = (
+                DelayAnalyzer(
+                    config.memory_budget, sstable_size=manifest["sstable_size"]
+                )
+                if db.auto_tune
+                else None
+            )
+            db._series[name] = SeriesState(
+                name=name,
+                config=config,
+                engine=report.engine,
+                analyzer=analyzer,
+            )
+            db._had_disorder[name] = bool(entry["had_disorder"])
+            db._last_tg[name] = float(entry["last_tg"])
+        if db.telemetry.enabled:
+            db.telemetry.count("db.recoveries")
+        return db
 
     # -- reading -----------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ separately for the foreground (inserts + flush writes) and the background
 
 from __future__ import annotations
 
+import dataclasses
 import math
 
 import numpy as np
@@ -25,6 +26,14 @@ import numpy as np
 from ..config import DEFAULT_DISK_MODEL, DiskModel, LsmConfig
 from ..errors import EngineError
 from .base import LsmEngine, MemTableView, Snapshot
+from .checkpoint import (
+    pack_memtable,
+    pack_run,
+    pack_tables,
+    unpack_memtable,
+    unpack_run,
+    unpack_tables,
+)
 from .compaction import merge_tables_with_batch
 from .level import Run
 from .memtable import MemTable
@@ -50,11 +59,13 @@ class IoTDBStyleEngine(LsmEngine):
         disk: DiskModel = DEFAULT_DISK_MODEL,
         stats: WriteStats | None = None,
         telemetry=None,
+        faults=None,
     ) -> None:
         super().__init__(
             config if config is not None else LsmConfig(),
             stats,
             telemetry=telemetry,
+            faults=faults,
         )
         if policy not in ("conventional", "separation"):
             raise EngineError(
@@ -126,7 +137,7 @@ class IoTDBStyleEngine(LsmEngine):
             if self._nonseq.full:
                 self._flush(self._nonseq)
 
-    def flush_all(self) -> None:
+    def _flush_buffers(self) -> None:
         for table in (self._memtable, self._seq, self._nonseq):
             if table is not None and not table.empty:
                 self._flush(table)
@@ -135,12 +146,14 @@ class IoTDBStyleEngine(LsmEngine):
 
     def _flush(self, memtable: MemTable) -> None:
         """Write one MemTable as a level-1 file (no merge, may overlap)."""
+        tg, ids = memtable.sorted_view()
+        self._fault_boundary("flush")
         with self.telemetry.span(
             "flush", engine=self.policy_name, memtable=memtable.name
         ) as span:
-            tg, ids = memtable.drain()
             table = SSTable(tg=tg, ids=ids)
             self.l1_files.append(table)
+            memtable.clear()
             self._max_disk_tg = max(self._max_disk_tg, table.max_tg)
             self.foreground_ms += _FLUSH_SYNC_MS + self.disk.write_cost_ms(len(table))
             span.set(new_points=int(tg.size), tables_written=1)
@@ -160,20 +173,21 @@ class IoTDBStyleEngine(LsmEngine):
 
     def _compact_l1(self) -> None:
         """Background thread: merge every L1 file into the L2 run."""
+        files = self.l1_files
+        tg = np.concatenate([f.tg for f in files])
+        ids = np.concatenate([f.ids for f in files])
+        tg, ids = sort_by_generation(tg, ids)
+        lo, hi = float(tg[0]), float(tg[-1])
+        region = self.l2.overlap_slice(lo, hi)
+        victims = self.l2.tables[region]
+        self._fault_boundary("merge")
         with self.telemetry.span(
             "merge", engine=self.policy_name, level="L1->L2"
         ) as span:
-            files = self.l1_files
-            self.l1_files = []
-            tg = np.concatenate([f.tg for f in files])
-            ids = np.concatenate([f.ids for f in files])
-            tg, ids = sort_by_generation(tg, ids)
-            lo, hi = float(tg[0]), float(tg[-1])
-            region = self.l2.overlap_slice(lo, hi)
-            victims = self.l2.tables[region]
             merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
             new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
             self.l2.replace(region, new_tables)
+            self.l1_files = []
             self.background_ms += self.disk.write_cost_ms(
                 merged_ids.size
             ) + self.disk.read_cost_ms(len(files) + len(victims), merged_ids.size)
@@ -221,3 +235,60 @@ class IoTDBStyleEngine(LsmEngine):
                     )
                 )
         return Snapshot(tables=tables, memtables=views)
+
+    # -- durability hooks ------------------------------------------------------
+
+    def _checkpoint_kwargs(self) -> dict:
+        return {
+            "policy": self.policy,
+            "l1_file_limit": self.l1_file_limit,
+            "disk": dataclasses.asdict(self.disk),
+        }
+
+    @classmethod
+    def _decode_kwargs(cls, kwargs: dict) -> dict:
+        decoded = dict(kwargs)
+        if isinstance(decoded.get("disk"), dict):
+            decoded["disk"] = DiskModel(**decoded["disk"])
+        return decoded
+
+    def _checkpoint_state(self, arrays) -> dict:
+        pack_tables(arrays, "l1", self.l1_files)
+        pack_run(arrays, "l2", self.l2)
+        state = {
+            "max_disk_tg": self._max_disk_tg,
+            "foreground_ms": self.foreground_ms,
+            "background_ms": self.background_ms,
+        }
+        for memtable, prefix in (
+            (self._memtable, "mem.c0"),
+            (self._seq, "mem.seq"),
+            (self._nonseq, "mem.nonseq"),
+        ):
+            if memtable is not None:
+                pack_memtable(arrays, prefix, memtable)
+        return state
+
+    def _restore_state(self, state: dict, arrays) -> None:
+        self.l1_files = unpack_tables(arrays, "l1")
+        self.l2 = unpack_run(arrays, "l2")
+        self._max_disk_tg = float(state["max_disk_tg"])
+        self.foreground_ms = float(state["foreground_ms"])
+        self.background_ms = float(state["background_ms"])
+        if self.policy == "conventional":
+            self._memtable = unpack_memtable(
+                arrays, "mem.c0", self.config.memory_budget, "C0"
+            )
+        else:
+            self._seq = unpack_memtable(
+                arrays, "mem.seq", self.config.effective_seq_capacity, "C_seq"
+            )
+            self._nonseq = unpack_memtable(
+                arrays, "mem.nonseq", self.config.nonseq_capacity, "C_nonseq"
+            )
+
+    def _sorted_table_groups(self):
+        return [("l2", list(self.l2.tables))]
+
+    def _loose_tables(self):
+        return list(self.l1_files)

@@ -75,16 +75,31 @@ class MemTable:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(self._id_segments)
 
-    def drain(self) -> tuple[np.ndarray, np.ndarray]:
-        """Empty the table, returning ``(tg, ids)`` sorted by generation time."""
+    def sorted_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(tg, ids)`` sorted by generation time, *without* clearing.
+
+        Compactions use this to stage their output before committing:
+        the buffer still holds the points until :meth:`clear`, so an
+        exception (or injected fault) between staging and commit leaves
+        the engine state untouched.
+        """
         tg = self.peek_tg()
         ids = self.peek_ids()
-        self._tg_segments.clear()
-        self._id_segments.clear()
-        self._size = 0
         if tg.size == 0:
             return tg, ids
         return sort_by_generation(tg, ids)
+
+    def clear(self) -> None:
+        """Drop every buffered point (the commit half of a compaction)."""
+        self._tg_segments.clear()
+        self._id_segments.clear()
+        self._size = 0
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empty the table, returning ``(tg, ids)`` sorted by generation time."""
+        tg, ids = self.sorted_view()
+        self.clear()
+        return tg, ids
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MemTable(name={self.name!r}, size={self._size}/{self.capacity})"

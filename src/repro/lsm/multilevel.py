@@ -15,6 +15,7 @@ import numpy as np
 from ..config import LsmConfig
 from ..errors import EngineError
 from .base import LsmEngine, MemTableView, Snapshot
+from .checkpoint import pack_memtable, pack_run, unpack_memtable, unpack_run
 from .compaction import merge_tables_with_batch
 from .level import Run
 from .memtable import MemTable
@@ -36,11 +37,13 @@ class MultiLevelEngine(LsmEngine):
         max_levels: int = 6,
         stats: WriteStats | None = None,
         telemetry=None,
+        faults=None,
     ) -> None:
         super().__init__(
             config if config is not None else LsmConfig(),
             stats,
             telemetry=telemetry,
+            faults=faults,
         )
         if size_ratio < 2:
             raise EngineError(f"size_ratio must be >= 2, got {size_ratio}")
@@ -67,14 +70,20 @@ class MultiLevelEngine(LsmEngine):
                 self._flush_into_level(0)
                 self._cascade()
 
-    def flush_all(self) -> None:
+    def _flush_buffers(self) -> None:
         if not self._memtable.empty:
             self._flush_into_level(0)
             self._cascade()
 
     def _flush_into_level(self, level: int) -> None:
-        mem_tg, mem_ids = self._memtable.drain()
-        self._merge_batch_into_level(level, mem_tg, mem_ids, new_points=mem_tg.size)
+        mem_tg, mem_ids = self._memtable.sorted_view()
+        self._merge_batch_into_level(
+            level,
+            mem_tg,
+            mem_ids,
+            new_points=mem_tg.size,
+            source_memtable=self._memtable,
+        )
 
     def _cascade(self) -> None:
         """Spill each over-capacity level into the next."""
@@ -82,29 +91,47 @@ class MultiLevelEngine(LsmEngine):
             run = self.levels[level]
             if run.total_points <= self.level_capacity(level):
                 continue
-            tables = run.clear()
+            tables = run.tables
             if not tables:
                 continue
             tg = np.concatenate([t.tg for t in tables])
             ids = np.concatenate([t.ids for t in tables])
             order = np.argsort(tg, kind="stable")
             self._merge_batch_into_level(
-                level + 1, tg[order], ids[order], new_points=0
+                level + 1, tg[order], ids[order], new_points=0, source_run=run
             )
 
     def _merge_batch_into_level(
-        self, level: int, tg: np.ndarray, ids: np.ndarray, new_points: int
+        self,
+        level: int,
+        tg: np.ndarray,
+        ids: np.ndarray,
+        new_points: int,
+        source_memtable: MemTable | None = None,
+        source_run: Run | None = None,
     ) -> None:
+        """Merge a sorted batch into ``level``; clear the source on commit.
+
+        The batch is a *view* of its source (MemTable buffer or the run
+        one level up): the fault boundary fires after staging, and only
+        then does the target replace land and the source clear — so an
+        injected crash mutates nothing.
+        """
+        run = self.levels[level]
+        lo, hi = float(tg[0]), float(tg[-1])
+        region = run.overlap_slice(lo, hi)
+        victims = run.tables[region]
+        self._fault_boundary("merge" if victims or new_points == 0 else "flush")
         with self.telemetry.span(
             "compaction", engine=self.policy_name, level=level
         ) as span:
-            run = self.levels[level]
-            lo, hi = float(tg[0]), float(tg[-1])
-            region = run.overlap_slice(lo, hi)
-            victims = run.tables[region]
             merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
             new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
             run.replace(region, new_tables)
+            if source_memtable is not None:
+                source_memtable.clear()
+            if source_run is not None:
+                source_run.clear()
             span.rename("merge" if victims or new_points == 0 else "flush")
             span.set(
                 new_points=int(new_points),
@@ -134,3 +161,28 @@ class MultiLevelEngine(LsmEngine):
                 ids=self._memtable.peek_ids(),
             ))
         return Snapshot(tables=tables, memtables=views)
+
+    # -- durability hooks ------------------------------------------------------
+
+    def _checkpoint_kwargs(self) -> dict:
+        return {"size_ratio": self.size_ratio, "max_levels": self.max_levels}
+
+    def _checkpoint_state(self, arrays) -> dict:
+        for index, run in enumerate(self.levels):
+            pack_run(arrays, f"level{index}", run)
+        pack_memtable(arrays, "mem.c0", self._memtable)
+        return {}
+
+    def _restore_state(self, state: dict, arrays) -> None:
+        self.levels = [
+            unpack_run(arrays, f"level{index}") for index in range(self.max_levels)
+        ]
+        self._memtable = unpack_memtable(
+            arrays, "mem.c0", self.config.memory_budget, "C0"
+        )
+
+    def _sorted_table_groups(self):
+        return [
+            (f"level{index}", list(run.tables))
+            for index, run in enumerate(self.levels)
+        ]

@@ -16,6 +16,7 @@ import numpy as np
 from ..config import LsmConfig
 from ..errors import EngineError
 from .base import LsmEngine, MemTableView, Snapshot
+from .checkpoint import pack_memtable, pack_tables, unpack_memtable, unpack_tables
 from .memtable import MemTable
 from .points import sort_by_generation
 from .sstable import SSTable, build_sstables
@@ -36,11 +37,13 @@ class TieredEngine(LsmEngine):
         max_levels: int = 8,
         stats: WriteStats | None = None,
         telemetry=None,
+        faults=None,
     ) -> None:
         super().__init__(
             config if config is not None else LsmConfig(),
             stats,
             telemetry=telemetry,
+            faults=faults,
         )
         if tier_fanout < 2:
             raise EngineError(f"tier_fanout must be >= 2, got {tier_fanout}")
@@ -67,16 +70,18 @@ class TieredEngine(LsmEngine):
             if self._memtable.full:
                 self._flush_memtable()
 
-    def flush_all(self) -> None:
+    def _flush_buffers(self) -> None:
         if not self._memtable.empty:
             self._flush_memtable()
 
     def _flush_memtable(self) -> None:
         """Sort the MemTable into a new level-0 run (never a merge)."""
+        tg, ids = self._memtable.sorted_view()
+        self._fault_boundary("flush")
         with self.telemetry.span("flush", engine=self.policy_name) as span:
-            tg, ids = self._memtable.drain()
             run = build_sstables(tg, ids, self.config.sstable_size)
             self.levels[0].append(run)
+            self._memtable.clear()
             span.set(new_points=int(tg.size), tables_written=len(run))
             self.stats.record_written(ids)
         self.stats.record_event(
@@ -97,16 +102,17 @@ class TieredEngine(LsmEngine):
             level < self.max_levels - 1
             and len(self.levels[level]) >= self.tier_fanout
         ):
+            runs = self.levels[level]
+            tables = [table for run in runs for table in run]
+            tg = np.concatenate([t.tg for t in tables])
+            ids = np.concatenate([t.ids for t in tables])
+            tg, ids = sort_by_generation(tg, ids)
+            self._fault_boundary("merge")
             with self.telemetry.span(
                 "merge", engine=self.policy_name, level=level
             ) as span:
-                runs = self.levels[level]
-                self.levels[level] = []
-                tables = [table for run in runs for table in run]
-                tg = np.concatenate([t.tg for t in tables])
-                ids = np.concatenate([t.ids for t in tables])
-                tg, ids = sort_by_generation(tg, ids)
                 merged = build_sstables(tg, ids, self.config.sstable_size)
+                self.levels[level] = []
                 self.levels[level + 1].append(merged)
                 span.set(
                     rewritten_points=int(ids.size),
@@ -152,3 +158,34 @@ class TieredEngine(LsmEngine):
                 ids=self._memtable.peek_ids(),
             ))
         return Snapshot(tables=tables, memtables=views)
+
+    # -- durability hooks ------------------------------------------------------
+
+    def _checkpoint_kwargs(self) -> dict:
+        return {"tier_fanout": self.tier_fanout, "max_levels": self.max_levels}
+
+    def _checkpoint_state(self, arrays) -> dict:
+        for li, level in enumerate(self.levels):
+            for ri, run in enumerate(level):
+                pack_tables(arrays, f"level{li}.run{ri}", run)
+        pack_memtable(arrays, "mem.c0", self._memtable)
+        return {"runs_per_level": [len(level) for level in self.levels]}
+
+    def _restore_state(self, state: dict, arrays) -> None:
+        self.levels = [
+            [
+                unpack_tables(arrays, f"level{li}.run{ri}")
+                for ri in range(run_count)
+            ]
+            for li, run_count in enumerate(state["runs_per_level"])
+        ]
+        self._memtable = unpack_memtable(
+            arrays, "mem.c0", self.config.memory_budget, "C0"
+        )
+
+    def _sorted_table_groups(self):
+        return [
+            (f"level{li}.run{ri}", list(run))
+            for li, level in enumerate(self.levels)
+            for ri, run in enumerate(level)
+        ]

@@ -98,7 +98,36 @@ class WriteStats:
             self._telemetry.count("engine.disk_points_written", int(ids.size))
 
     def record_event(self, event: CompactionEvent) -> None:
-        """Append one flush/merge event to the log."""
+        """Append one flush/merge event to the log.
+
+        Events are validated on the way in: counts must be non-negative
+        and the ``arrival_index`` stamps must be monotone (engines only
+        move forward through the arrival stream).  Merged or replayed
+        logs that legitimately interleave arrivals are assembled
+        directly on :attr:`events` (or via checkpoint restore), not
+        through this method.
+        """
+        if event.kind not in ("flush", "merge"):
+            raise EngineError(
+                f"event kind must be 'flush' or 'merge': {event!r}"
+            )
+        for field_name in (
+            "arrival_index",
+            "new_points",
+            "rewritten_points",
+            "tables_rewritten",
+            "tables_written",
+        ):
+            if getattr(event, field_name) < 0:
+                raise EngineError(
+                    f"event field {field_name} must be non-negative: {event!r}"
+                )
+        if self.events and event.arrival_index < self.events[-1].arrival_index:
+            raise EngineError(
+                "event arrival_index must be monotone: got "
+                f"{event.arrival_index} after {self.events[-1].arrival_index} "
+                f"in {event!r}"
+            )
         self.events.append(event)
         telemetry = self._telemetry
         if telemetry.enabled:
@@ -115,6 +144,66 @@ class WriteStats:
             )
             telemetry.count(f"engine.{event.kind}es")
             telemetry.count("engine.rewritten_points", event.rewritten_points)
+
+    # -- checkpointing -------------------------------------------------------
+
+    _EVENT_KINDS = ("flush", "merge")
+
+    def to_checkpoint(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serialise the counters and event log for a checkpoint."""
+        events = self.events
+        meta = {
+            "user_points": self.user_points,
+            "disk_writes": self.disk_writes,
+            "max_id": self._max_id,
+        }
+        arrays = {
+            "stats.counts": self._counts[: self._max_id + 1].copy(),
+            "stats.ev_kind": np.asarray(
+                [self._EVENT_KINDS.index(e.kind) for e in events], dtype=np.int8
+            ),
+            "stats.ev_arrival": np.asarray(
+                [e.arrival_index for e in events], dtype=np.int64
+            ),
+            "stats.ev_new": np.asarray(
+                [e.new_points for e in events], dtype=np.int64
+            ),
+            "stats.ev_rewritten": np.asarray(
+                [e.rewritten_points for e in events], dtype=np.int64
+            ),
+            "stats.ev_tables_rewritten": np.asarray(
+                [e.tables_rewritten for e in events], dtype=np.int64
+            ),
+            "stats.ev_tables_written": np.asarray(
+                [e.tables_written for e in events], dtype=np.int64
+            ),
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_checkpoint(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "WriteStats":
+        """Rebuild the instance stored by :meth:`to_checkpoint`."""
+        counts = np.ascontiguousarray(arrays["stats.counts"], dtype=np.int64)
+        stats = cls(initial_capacity=max(int(counts.size), 1))
+        stats._counts[: counts.size] = counts
+        stats._max_id = int(meta["max_id"])
+        stats.user_points = int(meta["user_points"])
+        stats.disk_writes = int(meta["disk_writes"])
+        kinds = arrays["stats.ev_kind"]
+        stats.events = [
+            CompactionEvent(
+                kind=cls._EVENT_KINDS[int(kinds[i])],
+                arrival_index=int(arrays["stats.ev_arrival"][i]),
+                new_points=int(arrays["stats.ev_new"][i]),
+                rewritten_points=int(arrays["stats.ev_rewritten"][i]),
+                tables_rewritten=int(arrays["stats.ev_tables_rewritten"][i]),
+                tables_written=int(arrays["stats.ev_tables_written"][i]),
+            )
+            for i in range(int(kinds.size))
+        ]
+        return stats
 
     # -- reading -------------------------------------------------------------
 

@@ -1,0 +1,261 @@
+"""Binary-framed, checksummed write-ahead log for the LSM engines.
+
+Every engine with ``LsmConfig.wal_path`` set appends each ingested batch
+here *before* MemTable placement, so a crash at any later boundary loses
+no acknowledged data.  The format is deliberately boring:
+
+``file  = MAGIC (8 bytes) · record*``
+``record = u32 payload_len · u32 crc32(payload) · payload``
+``payload = u8 kind · u64 start_id · u32 count · count×f64 tg [· count×f64 ta]``
+
+``kind`` 1 carries generation times only (plain engines); ``kind`` 2
+additionally carries arrival times (the adaptive engine needs aligned
+``(tg, ta)`` pairs to replay its analyzer).  ``start_id`` is the arrival
+index of the first point, so recovery after a checkpoint can skip every
+record the checkpoint already covers.
+
+Torn tails — a crash mid-append leaving a partial record — are detected
+by :func:`read_wal` (short frame or checksum mismatch) and removed by
+truncating recovery (:meth:`WalReadResult.truncate`): the durable prefix
+is exactly the records that were fully written and checksum clean.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, BinaryIO
+from zlib import crc32
+
+import numpy as np
+
+from ..errors import WalError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+
+__all__ = ["WAL_MAGIC", "WalRecord", "WalReadResult", "WriteAheadLog", "read_wal"]
+
+#: File magic: identifies a repro WAL, version 1.
+WAL_MAGIC = b"RPWAL1\x00\n"
+
+_HEADER = struct.Struct("<II")  # payload_len, crc32
+_PREFIX = struct.Struct("<BQI")  # kind, start_id, count
+
+#: Payload kinds.
+_KIND_TG = 1
+_KIND_TG_TA = 2
+
+#: Refuse to parse absurd frames (a corrupt length would otherwise make
+#: the reader try to allocate gigabytes).
+_MAX_PAYLOAD = 1 << 31
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable ingest batch."""
+
+    start_id: int
+    tg: np.ndarray
+    ta: np.ndarray | None = None
+
+    @property
+    def count(self) -> int:
+        """Points in the batch."""
+        return int(self.tg.size)
+
+    @property
+    def end_id(self) -> int:
+        """Arrival index one past the batch's last point."""
+        return self.start_id + self.count
+
+
+@dataclass(frozen=True)
+class WalReadResult:
+    """Outcome of scanning a WAL file."""
+
+    path: str
+    records: list[WalRecord]
+    #: Byte offset of the first invalid frame (== file size when clean).
+    valid_bytes: int
+    #: Bytes past ``valid_bytes`` (a torn tail or trailing corruption).
+    torn_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        """True when the file ends in a partial/corrupt record."""
+        return self.torn_bytes > 0
+
+    @property
+    def total_points(self) -> int:
+        """Points across every valid record."""
+        return sum(r.count for r in self.records)
+
+    def truncate(self) -> None:
+        """Drop the torn tail in place (truncating recovery)."""
+        if not self.torn:
+            return
+        with open(self.path, "r+b") as handle:
+            handle.truncate(self.valid_bytes)
+
+
+def _encode_payload(
+    start_id: int, tg: np.ndarray, ta: np.ndarray | None
+) -> bytes:
+    kind = _KIND_TG if ta is None else _KIND_TG_TA
+    parts = [
+        _PREFIX.pack(kind, start_id, tg.size),
+        np.ascontiguousarray(tg, dtype=np.float64).tobytes(),
+    ]
+    if ta is not None:
+        parts.append(np.ascontiguousarray(ta, dtype=np.float64).tobytes())
+    return b"".join(parts)
+
+
+def _decode_payload(payload: bytes, path: str, offset: int) -> WalRecord:
+    if len(payload) < _PREFIX.size:
+        raise WalError(f"{path}@{offset}: payload shorter than its prefix")
+    kind, start_id, count = _PREFIX.unpack_from(payload)
+    if kind not in (_KIND_TG, _KIND_TG_TA):
+        raise WalError(f"{path}@{offset}: unknown record kind {kind}")
+    arrays = 2 if kind == _KIND_TG_TA else 1
+    expected = _PREFIX.size + arrays * count * 8
+    if len(payload) != expected:
+        raise WalError(
+            f"{path}@{offset}: payload is {len(payload)} bytes, "
+            f"expected {expected} for {count} points"
+        )
+    body = payload[_PREFIX.size :]
+    tg = np.frombuffer(body[: count * 8], dtype=np.float64).copy()
+    ta = None
+    if kind == _KIND_TG_TA:
+        ta = np.frombuffer(body[count * 8 :], dtype=np.float64).copy()
+    return WalRecord(start_id=int(start_id), tg=tg, ta=ta)
+
+
+class WriteAheadLog:
+    """Append-side handle on one WAL file.
+
+    The file is created (with its magic header) on the first append, so
+    an engine that never ingests leaves no artefact.  Appending an
+    existing file is allowed only when its header matches.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        faults: "FaultInjector | None" = None,
+    ) -> None:
+        if not path:
+            raise WalError("WAL needs a non-empty path")
+        self.path = path
+        self.fsync = fsync
+        self.faults = faults
+        self._handle: BinaryIO | None = None
+        #: Records appended through this handle.
+        self.appended = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def _open(self) -> BinaryIO:
+        if self._handle is None:
+            fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+            self._handle = open(self.path, "ab")
+            if fresh:
+                self._handle.write(WAL_MAGIC)
+            else:
+                with open(self.path, "rb") as probe:
+                    header = probe.read(len(WAL_MAGIC))
+                if header != WAL_MAGIC:
+                    self._handle.close()
+                    self._handle = None
+                    raise WalError(
+                        f"{self.path}: existing file is not a repro WAL "
+                        "(bad magic); refusing to append"
+                    )
+        return self._handle
+
+    def append(
+        self, tg: np.ndarray, start_id: int, ta: np.ndarray | None = None
+    ) -> None:
+        """Durably frame one ingest batch.
+
+        With an armed injector this may raise
+        :class:`~repro.errors.InjectedCrash` after flushing only a
+        *prefix* of the frame — the simulated torn write that recovery
+        must truncate.
+        """
+        if start_id < 0:
+            raise WalError(f"start_id must be non-negative, got {start_id}")
+        if ta is not None and ta.size != tg.size:
+            raise WalError(f"tg and ta must align: {tg.size} vs {ta.size}")
+        payload = _encode_payload(start_id, tg, ta)
+        frame = _HEADER.pack(len(payload), crc32(payload)) + payload
+        handle = self._open()
+        if self.faults is not None:
+            try:
+                self.faults.fire("wal.append")
+            except Exception:
+                # Torn write: persist a strict prefix of the frame, then
+                # let the crash escape.  flush + fsync so the partial
+                # bytes are really "on disk" when recovery scans.
+                cut = self.faults.torn_prefix_bytes(len(frame))
+                handle.write(frame[:cut])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise
+        handle.write(frame)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_wal(path: str) -> WalReadResult:
+    """Scan ``path``, returning every valid record plus torn-tail info.
+
+    A missing file reads as an empty, clean WAL (the engine never
+    ingested).  A present file must start with the magic header.  The
+    scan stops at the first short or checksum-failing frame; everything
+    before it is the durable prefix.
+    """
+    if not os.path.exists(path):
+        return WalReadResult(path=path, records=[], valid_bytes=0, torn_bytes=0)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < len(WAL_MAGIC) or blob[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalError(f"{path}: not a repro WAL (bad or missing magic)")
+    records: list[WalRecord] = []
+    offset = len(WAL_MAGIC)
+    valid = offset
+    size = len(blob)
+    while offset < size:
+        if size - offset < _HEADER.size:
+            break  # torn: partial frame header
+        payload_len, checksum = _HEADER.unpack_from(blob, offset)
+        if payload_len > _MAX_PAYLOAD:
+            break  # corrupt length field
+        start = offset + _HEADER.size
+        end = start + payload_len
+        if end > size:
+            break  # torn: partial payload
+        payload = blob[start:end]
+        if crc32(payload) != checksum:
+            break  # corrupt record
+        try:
+            records.append(_decode_payload(payload, path, offset))
+        except WalError:
+            break  # structurally invalid payload: treat as corruption
+        offset = end
+        valid = end
+    return WalReadResult(
+        path=path, records=records, valid_bytes=valid, torn_bytes=size - valid
+    )

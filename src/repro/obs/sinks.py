@@ -18,6 +18,7 @@ Sinks are selected by a spec string (``LsmConfig.telemetry_sink``):
 from __future__ import annotations
 
 import json
+import logging
 import sys
 from collections import deque
 from typing import IO
@@ -95,6 +96,11 @@ class JsonlFileSink(TelemetrySink):
 
     The file opens lazily on the first event and appends, so a sink that
     never fires creates no file and several engines may share a path.
+
+    Telemetry must never take down an ingest: on the first
+    :class:`OSError` (disk full, permission lost, path removed) the sink
+    logs one warning, marks itself :attr:`disabled`, and silently drops
+    every later event.
     """
 
     def __init__(self, path: str) -> None:
@@ -103,17 +109,46 @@ class JsonlFileSink(TelemetrySink):
         self.path = path
         self._handle: IO[str] | None = None
         self.written = 0
+        #: Events dropped after a write failure disabled the sink.
+        self.errors = 0
+        #: Set once a write fails; no further I/O is attempted.
+        self.disabled = False
 
     def write(self, event: dict) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(encode_event(event) + "\n")
-        self._handle.flush()
+        if self.disabled:
+            self.errors += 1
+            return
+        try:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(encode_event(event) + "\n")
+            self._handle.flush()
+        except OSError as error:
+            self._disable(error)
+            return
         self.written += 1
+
+    def _disable(self, error: OSError) -> None:
+        self.disabled = True
+        self.errors += 1
+        logging.getLogger(__name__).warning(
+            "telemetry sink %s disabled after write failure: %s",
+            self.path,
+            error,
+        )
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError:
+                pass
             self._handle = None
 
 

@@ -75,6 +75,7 @@ class TestExamplesAndDocs:
             "datasets.md",
             "extending.md",
             "api.md",
+            "durability.md",
         ):
             assert (REPO / "docs" / name).exists()
 

@@ -1,0 +1,202 @@
+"""Fault-injection tests: plans, the injector, engine fault boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConventionalEngine,
+    ExponentialDelay,
+    LsmConfig,
+    RingBufferSink,
+    SeparationEngine,
+    Telemetry,
+)
+from repro.errors import (
+    ConfigError,
+    FaultError,
+    InjectedCrash,
+    TransientIOFault,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.crashtest import CRASH_TEST_ENGINES, run_crash_case
+from repro.workloads import generate_synthetic
+
+
+def _dataset(n=3000, seed=0):
+    return generate_synthetic(
+        n, dt=1.0, delay=ExponentialDelay(mean=40.0), seed=seed
+    )
+
+
+def _memory_telemetry():
+    sink = RingBufferSink()
+    return Telemetry(sinks=[sink]), sink
+
+
+class TestFaultPlan:
+    def test_defaults_arm_nothing(self):
+        assert not FaultPlan().any_armed
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_at_flush": 0},
+            {"crash_at_merge": -1},
+            {"torn_wal_append_at": 0},
+            {"transient_flush_faults": -1},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultPlan(**kwargs)
+
+    def test_config_rejects_non_plan(self):
+        with pytest.raises(ConfigError):
+            LsmConfig(8, 8, fault_plan="crash please")
+
+    def test_config_accepts_plan(self):
+        config = LsmConfig(8, 8, fault_plan=FaultPlan(crash_at_flush=1))
+        engine = ConventionalEngine(config)
+        assert engine.faults is not None
+        assert engine.faults.plan.crash_at_flush == 1
+
+
+class TestFaultInjector:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultError):
+            FaultInjector(FaultPlan()).fire("fsync")
+
+    def test_crash_fires_at_exact_occurrence(self):
+        injector = FaultInjector(FaultPlan(crash_at_merge=3))
+        injector.fire("merge")
+        injector.fire("merge")
+        with pytest.raises(InjectedCrash):
+            injector.fire("merge")
+        # One-shot: the same occurrence does not re-fire.
+        injector.fire("merge")
+        assert injector.occurrences("merge") == 4
+        assert injector.injected == [("merge", "crash")]
+
+    def test_transient_faults_lead_then_clear(self):
+        injector = FaultInjector(FaultPlan(transient_flush_faults=2))
+        for _ in range(2):
+            with pytest.raises(TransientIOFault):
+                injector.fire("flush")
+        injector.fire("flush")
+        assert injector.injected_count == 2
+
+    def test_torn_prefix_is_strict_prefix(self):
+        injector = FaultInjector(FaultPlan(seed=3))
+        for size in (2, 10, 1000):
+            cut = injector.torn_prefix_bytes(size)
+            assert 1 <= cut < size
+
+    def test_corrupt_file_respects_spare_prefix(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        FaultInjector(FaultPlan(seed=1)).corrupt_file(str(path), spare_prefix=8)
+        mutated = path.read_bytes()
+        assert mutated != original
+        assert mutated[:8] == original[:8]
+        assert sum(a != b for a, b in zip(mutated, original)) == 1
+
+
+class TestEngineFaultBoundary:
+    def test_disabled_injection_is_one_branch(self):
+        engine = ConventionalEngine(LsmConfig(64, 32))
+        assert engine.faults is None
+        engine.ingest(_dataset(500).tg)
+        engine.flush_all()
+        engine.verify()
+
+    def test_crash_at_flush_leaves_pre_fault_state(self):
+        plan = FaultPlan(crash_at_flush=1)
+        engine = SeparationEngine(
+            LsmConfig(64, 32, seq_capacity=48, fault_plan=plan)
+        )
+        dataset = _dataset(2000, seed=1)
+        before_disk = 0
+        with pytest.raises(InjectedCrash):
+            for lo in range(0, 2000, 100):
+                before_disk = engine.snapshot().disk_points
+                engine.ingest(dataset.tg[lo : lo + 100])
+        # The boundary fired before any state mutated: nothing new
+        # reached disk.  (The in-memory state is torn — the simulated
+        # process died mid-ingest — which is exactly what recovery from
+        # the WAL repairs; see test_recovery.py.)
+        assert engine.snapshot().disk_points == before_disk
+
+    def test_transient_faults_retried_and_counted(self):
+        plan = FaultPlan(transient_flush_faults=2, backoff_base_s=0.0)
+        telemetry, _ = _memory_telemetry()
+        engine = ConventionalEngine(
+            LsmConfig(64, 32, fault_plan=plan), telemetry=telemetry
+        )
+        engine.ingest(_dataset(500, seed=2).tg)
+        engine.flush_all()
+        engine.verify()
+        registry = telemetry.registry
+        assert registry.counter("fault.transient_retries").value == 2
+        assert registry.counter("fault.injected").value == 2
+
+    def test_transient_retry_budget_exhausts(self):
+        plan = FaultPlan(
+            transient_flush_faults=50, max_retries=2, backoff_base_s=0.0
+        )
+        engine = ConventionalEngine(LsmConfig(64, 32, fault_plan=plan))
+        with pytest.raises(TransientIOFault):
+            engine.ingest(_dataset(500, seed=3).tg)
+
+    def test_crash_counted_on_telemetry(self):
+        plan = FaultPlan(crash_at_flush=1)
+        telemetry, sink = _memory_telemetry()
+        engine = ConventionalEngine(
+            LsmConfig(64, 32, fault_plan=plan), telemetry=telemetry
+        )
+        with pytest.raises(InjectedCrash):
+            engine.ingest(_dataset(500, seed=4).tg)
+        assert telemetry.registry.counter("fault.injected").value == 1
+        events = [e for e in sink.events if e.get("type") == "fault"]
+        assert events and events[0]["kind"] == "crash"
+
+
+class TestCrashCases:
+    """One representative cell per fault kind (the full matrix runs in CI)."""
+
+    @pytest.mark.parametrize("fault", [
+        "crash_flush", "crash_merge", "torn_wal", "corrupt_checkpoint",
+    ])
+    def test_conventional_survives(self, fault, tmp_path):
+        result = run_crash_case("pi_c", fault, 0, str(tmp_path))
+        assert result.ok, result.describe()
+
+    def test_adaptive_survives_torn_wal(self, tmp_path):
+        result = run_crash_case("adaptive", "torn_wal", 0, str(tmp_path))
+        assert result.ok, result.describe()
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        with pytest.raises(FaultError):
+            run_crash_case("rocksdb", "torn_wal", 0, str(tmp_path))
+
+    def test_engine_list_is_complete(self):
+        assert set(CRASH_TEST_ENGINES) == {
+            "pi_c", "pi_s", "adaptive", "iotdb", "multilevel", "tiered",
+        }
+
+    def test_recovery_counters_reconcile(self, tmp_path):
+        telemetry, sink = _memory_telemetry()
+        result = run_crash_case(
+            "pi_s", "torn_wal", 1, str(tmp_path), telemetry=telemetry
+        )
+        assert result.ok, result.describe()
+        registry = telemetry.registry
+        assert (
+            registry.counter("recovery.replayed_points").value
+            == result.replayed_points
+        )
+        assert registry.counter("recovery.runs").value == 1
+        recoveries = [e for e in sink.events if e.get("type") == "recovery"]
+        assert recoveries[-1]["durable_points"] == result.durable_points

@@ -1,0 +1,281 @@
+"""Durability tests: WAL framing, checkpoints, crash recovery."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveEngine,
+    ConventionalEngine,
+    ExponentialDelay,
+    IoTDBStyleEngine,
+    LsmConfig,
+    MultiLevelEngine,
+    SeparationEngine,
+    TieredEngine,
+    TimeSeriesDatabase,
+    WriteAheadLog,
+    read_wal,
+    recover_adaptive,
+    recover_engine,
+)
+from repro.errors import (
+    CheckpointCorruptError,
+    InjectedCrash,
+    RecoveryError,
+    WalError,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.lsm.checkpoint import read_checkpoint
+from repro.workloads import generate_synthetic
+
+
+def _dataset(n=4000, seed=0):
+    return generate_synthetic(
+        n, dt=1.0, delay=ExponentialDelay(mean=40.0), seed=seed
+    )
+
+
+def _assert_same_state(left, right):
+    """Two engines hold bit-identical durable state."""
+    ls, rs = left.snapshot(), right.snapshot()
+    assert ls.total_points == rs.total_points
+    assert ls.disk_points == rs.disk_points
+    for attr in ("tg", "ids"):
+        l_disk = np.concatenate(
+            [getattr(t, attr) for t in ls.tables]
+        ) if ls.tables else np.array([])
+        r_disk = np.concatenate(
+            [getattr(t, attr) for t in rs.tables]
+        ) if rs.tables else np.array([])
+        np.testing.assert_array_equal(np.sort(l_disk), np.sort(r_disk))
+    assert left.ingested_points == right.ingested_points
+    np.testing.assert_array_equal(
+        left.stats.write_counts[: left.stats.user_points],
+        right.stats.write_counts[: right.stats.user_points],
+    )
+    assert left.stats.disk_writes == right.stats.disk_writes
+
+
+ENGINE_FACTORIES = {
+    "pi_c": lambda cfg: ConventionalEngine(cfg),
+    "pi_s": lambda cfg: SeparationEngine(
+        LsmConfig(
+            cfg.memory_budget, cfg.sstable_size, seq_capacity=48,
+            wal_path=cfg.wal_path,
+        )
+    ),
+    "iotdb": lambda cfg: IoTDBStyleEngine(cfg, l1_file_limit=4),
+    "multilevel": lambda cfg: MultiLevelEngine(cfg, size_ratio=4, max_levels=4),
+    "tiered": lambda cfg: TieredEngine(cfg, tier_fanout=3, max_levels=4),
+}
+
+
+class TestWal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "a.wal")
+        wal = WriteAheadLog(path)
+        tg0 = np.array([3.0, 1.0, 2.0])
+        tg1 = np.array([5.0, 4.0])
+        ta1 = np.array([6.0, 7.0])
+        wal.append(tg0, start_id=0)
+        wal.append(tg1, start_id=3, ta=ta1)
+        wal.close()
+        result = read_wal(path)
+        assert not result.torn
+        assert [r.start_id for r in result.records] == [0, 3]
+        np.testing.assert_array_equal(result.records[0].tg, tg0)
+        assert result.records[0].ta is None
+        np.testing.assert_array_equal(result.records[1].ta, ta1)
+        assert result.total_points == 5
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        result = read_wal(str(tmp_path / "never-written.wal"))
+        assert result.records == [] and not result.torn
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.wal"
+        path.write_bytes(b"not a wal at all")
+        with pytest.raises(WalError):
+            read_wal(str(path))
+        with pytest.raises(WalError):
+            WriteAheadLog(str(path)).append(np.array([1.0]), start_id=0)
+
+    def test_torn_tail_detected_and_truncated(self, tmp_path):
+        path = str(tmp_path / "torn.wal")
+        wal = WriteAheadLog(path)
+        wal.append(np.array([1.0, 2.0]), start_id=0)
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x07\x00\x00")  # partial frame header
+        result = read_wal(path)
+        assert result.torn and result.torn_bytes == 3
+        assert len(result.records) == 1
+        result.truncate()
+        clean = read_wal(path)
+        assert not clean.torn and len(clean.records) == 1
+
+    def test_injected_torn_append(self, tmp_path):
+        path = str(tmp_path / "inj.wal")
+        faults = FaultInjector(FaultPlan(seed=7, torn_wal_append_at=2))
+        wal = WriteAheadLog(path, faults=faults)
+        wal.append(np.array([1.0]), start_id=0)
+        with pytest.raises(InjectedCrash):
+            wal.append(np.array([2.0, 3.0]), start_id=1)
+        wal.close()
+        result = read_wal(path)
+        assert result.torn and len(result.records) == 1
+        assert ("wal.append", "torn") in faults.injected
+
+
+@pytest.mark.parametrize("key", sorted(ENGINE_FACTORIES))
+class TestCheckpointRoundTrip:
+    def test_restore_continues_bit_identically(self, key, tmp_path):
+        dataset = _dataset(3000, seed=3)
+        head, tail = dataset.tg[:1800], dataset.tg[1800:]
+        engine = ENGINE_FACTORIES[key](LsmConfig(64, 32))
+        engine.ingest(head)
+        ckpt = str(tmp_path / "mid.ckpt")
+        engine.save_checkpoint(ckpt)
+        restored = type(engine).restore(ckpt)
+        _assert_same_state(engine, restored)
+        engine.ingest(tail)
+        restored.ingest(tail)
+        _assert_same_state(engine, restored)
+        restored.verify()
+
+    def test_corrupt_checkpoint_detected(self, key, tmp_path):
+        engine = ENGINE_FACTORIES[key](LsmConfig(64, 32))
+        engine.ingest(_dataset(1000, seed=1).tg)
+        ckpt = str(tmp_path / "bad.ckpt")
+        engine.save_checkpoint(ckpt)
+        FaultInjector(FaultPlan(seed=5)).corrupt_file(ckpt, spare_prefix=8)
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(ckpt)
+        with pytest.raises(CheckpointCorruptError):
+            type(engine).restore(ckpt)
+
+
+class TestRecoverEngine:
+    def test_full_wal_replay(self, tmp_path):
+        wal_path = str(tmp_path / "e.wal")
+        dataset = _dataset(2500, seed=2)
+        engine = ConventionalEngine(LsmConfig(64, 32, wal_path=wal_path))
+        for lo in range(0, 2500, 300):
+            engine.ingest(dataset.tg[lo : lo + 300])
+        engine.wal.close()
+        report = recover_engine(
+            ConventionalEngine, wal_path, config=LsmConfig(64, 32)
+        )
+        assert not report.checkpoint_used and report.verified
+        assert report.replayed_points == 2500
+        _assert_same_state(engine, report.engine)
+
+    def test_checkpoint_plus_tail_replay(self, tmp_path):
+        wal_path = str(tmp_path / "e.wal")
+        ckpt_path = str(tmp_path / "e.ckpt")
+        dataset = _dataset(2500, seed=4)
+        engine = SeparationEngine(
+            LsmConfig(64, 32, seq_capacity=48, wal_path=wal_path)
+        )
+        for lo in range(0, 2500, 250):
+            engine.ingest(dataset.tg[lo : lo + 250])
+            if lo == 1000:
+                engine.save_checkpoint(ckpt_path)
+        engine.wal.close()
+        report = recover_engine(
+            SeparationEngine,
+            wal_path,
+            checkpoint_path=ckpt_path,
+            config=LsmConfig(64, 32, seq_capacity=48),
+        )
+        assert report.checkpoint_used and report.verified
+        assert report.replayed_points == 2500 - 1250
+        assert report.durable_points == 2500
+        _assert_same_state(engine, report.engine)
+
+    def test_corrupt_checkpoint_falls_back_to_full_replay(self, tmp_path):
+        wal_path = str(tmp_path / "e.wal")
+        ckpt_path = str(tmp_path / "e.ckpt")
+        dataset = _dataset(2000, seed=5)
+        engine = ConventionalEngine(LsmConfig(64, 32, wal_path=wal_path))
+        engine.ingest(dataset.tg[:1000])
+        engine.save_checkpoint(ckpt_path)
+        engine.ingest(dataset.tg[1000:])
+        engine.wal.close()
+        FaultInjector(FaultPlan(seed=9)).corrupt_file(ckpt_path, spare_prefix=8)
+        report = recover_engine(
+            ConventionalEngine,
+            wal_path,
+            checkpoint_path=ckpt_path,
+            config=LsmConfig(64, 32),
+        )
+        assert report.checkpoint_corrupt and not report.checkpoint_used
+        assert report.replayed_points == 2000
+        _assert_same_state(engine, report.engine)
+
+    def test_adaptive_full_replay(self, tmp_path):
+        wal_path = str(tmp_path / "a.wal")
+        dataset = _dataset(3000, seed=6)
+        engine = AdaptiveEngine(
+            LsmConfig(64, 32, wal_path=wal_path), check_interval=512
+        )
+        for lo in range(0, 3000, 400):
+            engine.ingest(
+                dataset.tg[lo : lo + 400], dataset.ta[lo : lo + 400]
+            )
+        engine.wal.close()
+        report = recover_adaptive(
+            wal_path,
+            config=LsmConfig(64, 32),
+            engine_kwargs={"check_interval": 512},
+        )
+        assert report.verified
+        assert report.durable_points == 3000
+        recovered = report.engine
+        assert recovered.policy_name == engine.policy_name
+        np.testing.assert_array_equal(
+            recovered.stats.write_counts[:3000],
+            engine.stats.write_counts[:3000],
+        )
+        assert recovered.stats.disk_writes == engine.stats.disk_writes
+
+    def test_adaptive_wal_without_ta_rejected(self, tmp_path):
+        wal_path = str(tmp_path / "plain.wal")
+        wal = WriteAheadLog(wal_path)
+        wal.append(np.array([1.0, 2.0]), start_id=0)
+        wal.close()
+        with pytest.raises(RecoveryError):
+            recover_adaptive(wal_path, config=LsmConfig(64, 32))
+
+
+class TestDatabaseDurability:
+    def test_checkpoint_all_and_recover(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        db = TimeSeriesDatabase(
+            memory_budget_per_series=64,
+            sstable_size=32,
+            durability_dir=state_dir,
+        )
+        datasets = {
+            "plain": _dataset(2000, seed=10),
+            "split": _dataset(2000, seed=11),
+        }
+        db.create_series("split", seq_capacity=24)
+        for name, dataset in datasets.items():
+            db.write(name, dataset.tg, dataset.ta)
+        db.checkpoint_all()
+        # More writes after the checkpoint: recovery replays the WAL tail.
+        extra = _dataset(500, seed=12)
+        db.write("plain", extra.tg, extra.ta)
+
+        revived = TimeSeriesDatabase.recover(state_dir)
+        assert sorted(revived.series_names()) == ["plain", "split"]
+        for name in datasets:
+            original = db.series(name).engine
+            recovered = revived.series(name).engine
+            recovered.verify()
+            _assert_same_state(original, recovered)
+
+    def test_recover_without_manifest_fails(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            TimeSeriesDatabase.recover(str(tmp_path / "nothing"))

@@ -4,17 +4,22 @@ import numpy as np
 import pytest
 
 from repro import (
+    AdaptiveEngine,
     ConventionalEngine,
     DelayAnalyzer,
     EngineError,
     IoTDBStyleEngine,
+    JsonlFileSink,
     LogNormalDelay,
     LsmConfig,
     MultiLevelEngine,
     SeparationEngine,
+    Telemetry,
     TieredEngine,
 )
-from repro.errors import ModelError
+from repro.errors import EngineClosedError, ModelError
+from repro.faults.crashtest import run_crash_case
+from repro.lsm import CompactionEvent, WriteStats
 from repro.workloads import generate_synthetic
 
 
@@ -128,3 +133,133 @@ class TestSeedRobustness:
             conventional.write_amplification
             <= separation.write_amplification * 1.05
         )
+
+
+class TestClosedEngine:
+    """flush_all on a closed engine must raise, never silently no-op."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ConventionalEngine(LsmConfig(8, 8)),
+            lambda: SeparationEngine(LsmConfig(8, 8)),
+            lambda: AdaptiveEngine(LsmConfig(8, 8)),
+            lambda: IoTDBStyleEngine(LsmConfig(8, 8)),
+            lambda: MultiLevelEngine(LsmConfig(8, 8)),
+            lambda: TieredEngine(LsmConfig(8, 8)),
+        ],
+        ids=[
+            "conventional", "separation", "adaptive",
+            "iotdb", "multilevel", "tiered",
+        ],
+    )
+    def test_flush_all_after_close_raises(self, factory):
+        engine = factory()
+        tg = np.arange(4, dtype=np.float64)
+        if isinstance(engine, AdaptiveEngine):
+            engine.ingest(tg, tg + 1.0)
+        else:
+            engine.ingest(tg)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.flush_all()
+        with pytest.raises(EngineClosedError):
+            if isinstance(engine, AdaptiveEngine):
+                engine.ingest(np.array([9.0]), np.array([10.0]))
+            else:
+                engine.ingest(np.array([9.0]))
+
+
+class TestEventValidation:
+    """record_event rejects malformed compaction events at the door."""
+
+    def test_bad_kind_rejected(self):
+        stats = WriteStats()
+        with pytest.raises(EngineError, match="kind"):
+            stats.record_event(
+                CompactionEvent(
+                    kind="defrag", arrival_index=0, new_points=1,
+                    rewritten_points=0, tables_rewritten=0, tables_written=1,
+                )
+            )
+
+    @pytest.mark.parametrize(
+        "field", [
+            "arrival_index", "new_points", "rewritten_points",
+            "tables_rewritten", "tables_written",
+        ],
+    )
+    def test_negative_counts_rejected(self, field):
+        stats = WriteStats()
+        kwargs = dict(
+            kind="flush", arrival_index=0, new_points=1,
+            rewritten_points=0, tables_rewritten=0, tables_written=1,
+        )
+        kwargs[field] = -1
+        with pytest.raises(EngineError, match="non-negative"):
+            stats.record_event(CompactionEvent(**kwargs))
+
+    def test_arrival_index_must_be_monotone(self):
+        stats = WriteStats()
+        stats.record_event(
+            CompactionEvent(
+                kind="flush", arrival_index=100, new_points=10,
+                rewritten_points=0, tables_rewritten=0, tables_written=1,
+            )
+        )
+        with pytest.raises(EngineError, match="monotone"):
+            stats.record_event(
+                CompactionEvent(
+                    kind="merge", arrival_index=50, new_points=5,
+                    rewritten_points=0, tables_rewritten=0, tables_written=1,
+                )
+            )
+
+
+class TestSinkHardening:
+    """Telemetry must degrade, not take down ingest, when its file dies."""
+
+    def test_write_failure_disables_sink(self, tmp_path):
+        target = tmp_path / "gone" / "trace.jsonl"  # parent doesn't exist
+        sink = JsonlFileSink(str(target))
+        sink.write({"type": "x"})  # must not raise
+        assert sink.disabled and sink.errors == 1 and sink.written == 0
+        sink.write({"type": "y"})  # silently dropped
+        assert sink.errors == 2
+
+    def test_engine_survives_sink_failure(self, tmp_path):
+        target = tmp_path / "missing-dir" / "trace.jsonl"
+        sink = JsonlFileSink(str(target))
+        engine = ConventionalEngine(
+            LsmConfig(16, 16), telemetry=Telemetry(sinks=[sink])
+        )
+        dataset = generate_synthetic(
+            2_000, dt=50, delay=LogNormalDelay(4.0, 1.0), seed=7
+        )
+        engine.ingest(dataset.tg)
+        engine.flush_all()
+        engine.verify()
+        assert sink.disabled
+
+    def test_healthy_sink_still_writes(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        sink = JsonlFileSink(str(target))
+        sink.write({"type": "x"})
+        sink.close()
+        assert not sink.disabled and sink.written == 1
+        assert target.read_text().strip() == '{"type":"x"}'
+
+
+class TestCrashRecoveryProperty:
+    """Property over seeds: crash -> recover => durable prefix intact."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_torn_wal_recovery_across_seeds(self, seed, tmp_path):
+        result = run_crash_case("pi_c", "torn_wal", seed, str(tmp_path))
+        assert result.ok, result.describe()
+        assert result.verified and result.wa_match
+
+    @pytest.mark.parametrize("engine", ["pi_s", "multilevel"])
+    def test_crash_at_merge_recovery(self, engine, tmp_path):
+        result = run_crash_case(engine, "crash_merge", 0, str(tmp_path))
+        assert result.ok, result.describe()

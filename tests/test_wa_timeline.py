@@ -92,8 +92,9 @@ class TestWaTimelineEdgeCases:
             stats.record_ingest(300)
         for event in events:
             ordered.record_event(event)
-        for event in (events[2], events[0], events[1]):  # append disorder
-            shuffled.record_event(event)
+        # record_event enforces monotone arrival_index, so build the
+        # disordered log directly (e.g. a trace merged from two engines).
+        shuffled.events.extend((events[2], events[0], events[1]))
         ordered_edges, ordered_wa = ordered.wa_timeline(window_points=100)
         shuffled_edges, shuffled_wa = shuffled.wa_timeline(window_points=100)
         np.testing.assert_array_equal(ordered_edges, shuffled_edges)
