@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Perf-regression harness over ``benchmarks/bench_perf_library.py``.
+
+Runs the library's hot-path benchmarks under pytest-benchmark, appends
+the per-test best times to the ``BENCH_perf.json`` trajectory at the
+repo root, and fails when any benchmark regresses more than
+``--max-regression`` (default 30%) against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # full run
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # 1-round smoke
+    PYTHONPATH=src python scripts/bench_perf.py --compare-only
+    PYTHONPATH=src python scripts/bench_perf.py --update-baseline
+
+``BENCH_perf.json`` layout (schema 1)::
+
+    {
+      "schema": 1,
+      "baseline": {<entry>},           # reference point for the comparator
+      "entries": [<entry>, ...]        # append-only run trajectory
+    }
+
+where each entry records ``timings`` as ``{test_name: min_seconds}``
+plus provenance (timestamp, python/platform, quick flag).  ``min`` is
+used because it is the most noise-robust point statistic for
+wall-clock microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_perf_library.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+SCHEMA = 1
+
+QUICK_FLAGS = [
+    "--benchmark-min-rounds=1",
+    "--benchmark-max-time=0.1",
+    "--benchmark-warmup=off",
+]
+
+
+def run_benchmarks(quick: bool) -> dict:
+    """Run the perf suite once, returning a trajectory entry."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        report = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_FILE),
+            "-q",
+            "--benchmark-json",
+            str(report),
+        ]
+        if quick:
+            cmd.extend(QUICK_FLAGS)
+        print(f"[bench-perf] running: {' '.join(cmd[3:])}", flush=True)
+        started = time.time()
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+        data = json.loads(report.read_text())
+    timings = {
+        bench["name"]: float(bench["stats"]["min"])
+        for bench in data.get("benchmarks", [])
+    }
+    if not timings:
+        raise SystemExit("benchmark run produced no timings")
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "duration_s": round(time.time() - started, 2),
+        "timings": timings,
+    }
+
+
+def load_history(path: Path) -> dict:
+    if not path.exists():
+        return {"schema": SCHEMA, "baseline": None, "entries": []}
+    history = json.loads(path.read_text())
+    if history.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path} has unsupported schema {history.get('schema')!r}"
+        )
+    return history
+
+
+def save_history(path: Path, history: dict) -> None:
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+def compare(baseline: dict, current: dict, max_regression: float) -> list[str]:
+    """Return failure messages for tests slower than the allowed ratio."""
+    failures: list[str] = []
+    base_timings = baseline["timings"]
+    cur_timings = current["timings"]
+    width = max(len(name) for name in sorted(base_timings | cur_timings))
+    print(f"[bench-perf] comparing against baseline from "
+          f"{baseline.get('timestamp', '?')} (max regression "
+          f"{max_regression:.0%})")
+    for name in sorted(base_timings):
+        base = base_timings[name]
+        cur = cur_timings.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cur:.6f}s vs baseline {base:.6f}s "
+                f"({ratio - 1.0:+.1%} > +{max_regression:.0%})"
+            )
+        print(
+            f"  {name:<{width}}  {base:>10.6f}s -> {cur:>10.6f}s "
+            f"({ratio - 1.0:+7.1%})  {status}"
+        )
+    for name in sorted(set(cur_timings) - set(base_timings)):
+        print(f"  {name:<{width}}  (new; no baseline)  {cur_timings[name]:.6f}s")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single-round smoke run (CI): min-rounds=1, warmup off",
+    )
+    parser.add_argument(
+        "--compare-only",
+        action="store_true",
+        help="compare the most recent recorded entry against the baseline "
+        "without running benchmarks or touching the file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="promote this run to be the new baseline",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="RATIO",
+        help="allowed slowdown vs baseline before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"trajectory file (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    history = load_history(args.output)
+
+    if args.compare_only:
+        if not history["entries"]:
+            raise SystemExit(f"{args.output} has no recorded entries")
+        current = history["entries"][-1]
+    else:
+        current = run_benchmarks(quick=args.quick)
+        history["entries"].append(current)
+
+    if history["baseline"] is None or args.update_baseline:
+        history["baseline"] = current
+        print("[bench-perf] baseline set from this run")
+
+    failures = compare(history["baseline"], current, args.max_regression)
+
+    if not args.compare_only:
+        save_history(args.output, history)
+        print(f"[bench-perf] trajectory written to {args.output} "
+              f"({len(history['entries'])} entries)")
+
+    if failures:
+        print("[bench-perf] FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("[bench-perf] OK: no regression beyond "
+          f"{args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

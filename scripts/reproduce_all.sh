@@ -11,18 +11,22 @@ cd "$(dirname "$0")/.."
 
 export REPRO_BENCH_SCALE="${1:-0.25}"
 
-echo "== 1/3 unit/integration/property tests"
+echo "== 1/4 unit/integration/property tests"
 pytest tests/ 2>&1 | tee test_output.txt
 
-echo "== 2/3 figure/table benchmarks (scale=${REPRO_BENCH_SCALE})"
+echo "== 2/4 figure/table benchmarks (scale=${REPRO_BENCH_SCALE})"
 pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-echo "== 3/3 examples"
+echo "== 3/4 examples"
 for example in examples/*.py; do
     echo "--- ${example}"
     python "${example}" > /dev/null
 done
 
+echo "== 4/4 perf-regression check"
+python scripts/bench_perf.py --quick
+
 echo "All reproduction artifacts regenerated."
 echo "  - test_output.txt / bench_output.txt"
 echo "  - benchmarks/results/<experiment>.txt"
+echo "  - BENCH_perf.json"

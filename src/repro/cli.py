@@ -5,10 +5,12 @@ Usage::
     python -m repro list
     python -m repro fig07
     python -m repro fig09 --scale 0.5 --seed 1
-    python -m repro all --scale 0.2
+    python -m repro all --scale 0.2 --workers 4
+    python -m repro run-all --workers 4
+    python -m repro run-all --workers 4 --no-cache --scale 0.5
     python -m repro fig07 --trace trace.jsonl
     python -m repro telemetry-report trace.jsonl
-    python -m repro crash-test --engines all --seeds 3
+    python -m repro crash-test --engines all --seeds 3 --workers 4
     python -m repro checkpoint --dir state/
     python -m repro recover --dir state/
 """
@@ -35,8 +37,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (see 'list'), 'all', 'list', or a subcommand: "
-            "'telemetry-report <trace.jsonl>', 'crash-test', 'checkpoint', "
-            "'recover'"
+            "'run-all', 'telemetry-report <trace.jsonl>', 'crash-test', "
+            "'checkpoint', 'recover'"
         ),
     )
     parser.add_argument(
@@ -61,6 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "capture telemetry (experiment wall-times, engine flush/merge "
             "events) as JSON lines into PATH; inspect it later with "
             "'telemetry-report PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan experiments out over N worker processes (default: serial; "
+            "-1 = one per CPU); results are bit-identical to the serial run"
         ),
     )
     return parser
@@ -119,6 +131,16 @@ def _build_crash_test_parser() -> argparse.ArgumentParser:
         default=None,
         help="keep WAL/checkpoint files here instead of a temp directory",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run matrix cells on N worker processes (default: serial; "
+            "-1 = one per CPU)"
+        ),
+    )
     return parser
 
 
@@ -138,6 +160,7 @@ def _crash_test(argv: list[str]) -> int:
             seeds=args.seeds,
             n_points=args.points,
             workdir=args.workdir,
+            workers=args.workers,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -236,7 +259,93 @@ def _recover(argv: list[str]) -> int:
     return 0
 
 
+def _build_run_all_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run-all",
+        description=(
+            "Run every registered experiment through the parallel driver: "
+            "unchanged experiments are served from the result cache, the "
+            "rest fan out over a worker pool; results are bit-identical "
+            "to a serial run"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: serial; -1 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-run; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset-size multiplier"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the default RNG seed"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each result table as CSV into this directory",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="capture merged telemetry (workers included) as JSONL into PATH",
+    )
+    return parser
+
+
+def _run_all(argv: list[str]) -> int:
+    """The ``run-all`` subcommand; returns an exit code."""
+    from .parallel import ResultCache, run_experiments
+
+    args = _build_run_all_parser().parse_args(argv)
+    if args.trace is not None:
+        configure_telemetry(sink=f"jsonl:{args.trace}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    started = time.perf_counter()
+    try:
+        runs = run_experiments(
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for run in runs:
+        print(run.result.render())
+        if args.csv_dir is not None:
+            for path in run.result.save_csv(args.csv_dir):
+                print(f"[wrote {path}]")
+        status = "cached" if run.cached else f"ran in {run.duration_s:.1f}s"
+        print(f"\n[{run.experiment_id}: {status}]\n")
+    elapsed = time.perf_counter() - started
+    cached = sum(1 for run in runs if run.cached)
+    print(
+        f"[run-all: {len(runs)} experiments ({cached} cached) in "
+        f"{elapsed:.1f}s, workers={args.workers or 1}]"
+    )
+    if args.trace is not None:
+        print(f"[telemetry trace written to {args.trace}]")
+    return 0
+
+
 _SUBCOMMANDS = {
+    "run-all": _run_all,
     "telemetry-report": _telemetry_report,
     "crash-test": _crash_test,
     "checkpoint": _checkpoint,
@@ -259,6 +368,29 @@ def main(argv: list[str] | None = None) -> int:
     targets = (
         experiment_ids() if args.experiment == "all" else [args.experiment]
     )
+    if args.workers is not None and len(targets) > 1:
+        # Fan the whole target list out at once; per-experiment output
+        # below is unchanged (results are bit-identical to the serial
+        # path, only wall-clock differs).
+        from .parallel import run_experiments
+
+        try:
+            runs = run_experiments(
+                targets, scale=args.scale, seed=args.seed, workers=args.workers
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        for run in runs:
+            print(run.result.render())
+            if args.csv_dir is not None:
+                for path in run.result.save_csv(args.csv_dir):
+                    print(f"[wrote {path}]")
+            print(f"\n[{run.experiment_id} completed in "
+                  f"{run.duration_s:.1f}s]\n")
+        if args.trace is not None:
+            print(f"[telemetry trace written to {args.trace}]")
+        return 0
     for experiment_id in targets:
         started = time.perf_counter()
         try:

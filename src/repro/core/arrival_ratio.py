@@ -46,6 +46,10 @@ class InOrderCurve:
         self.dist = dist
         self.dt = float(dt)
         self._cumulative = np.empty(0, dtype=np.float64)
+        # Inversion memo: the tuner and the WA formulas ask for the same
+        # n_seq values repeatedly (e.g. g(n_seq) inside every candidate's
+        # objective), and each miss costs a searchsorted over the table.
+        self._alpha_cache: dict[float, float] = {}
 
     def _extend_to(self, alpha: int) -> None:
         current = self._cumulative.size
@@ -79,6 +83,10 @@ class InOrderCurve:
             raise ModelError(f"n_seq must be non-negative, got {n_seq}")
         if n_seq == 0:
             return 0.0
+        key = float(n_seq)
+        cached = self._alpha_cache.get(key)
+        if cached is not None:
+            return cached
         size = max(self._cumulative.size, _CHUNK)
         while self._cumulative.size == 0 or self._cumulative[-1] < n_seq:
             if size >= _MAX_ARRIVALS:
@@ -94,7 +102,9 @@ class InOrderCurve:
         lower = self._cumulative[idx - 1] if idx else 0.0
         step = upper - lower
         fraction = 1.0 if step <= 0 else (n_seq - lower) / step
-        return idx + float(fraction)
+        alpha = idx + float(fraction)
+        self._alpha_cache[key] = alpha
+        return alpha
 
     def g(self, n_seq: float) -> float:
         """Eq. 1's ``g``: expected out-of-order arrivals per ``n_seq``

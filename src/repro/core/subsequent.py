@@ -64,6 +64,7 @@ class ZetaModel:
         levels = np.clip(levels, config.tail_mass, 1.0 - config.tail_mass)
         self._x_nodes = np.asarray(dist.quantile(levels), dtype=np.float64)
         self._cache: dict[int, float] = {}
+        self._radius_cache: dict[int, int] = {}
         self._h_grid: np.ndarray | None = None
         self._h_values: np.ndarray | None = None
         self._m_sat: int | None = None
@@ -97,10 +98,15 @@ class ZetaModel:
 
     def _term_bound_radius(self, n: int) -> int:
         """``I_bound``: first ``i`` where ``n * (1 - F(i*dt)) < tol``."""
+        cached = self._radius_cache.get(n)
+        if cached is not None:
+            return cached
         level = 1.0 - min(self.config.term_tolerance / n, 0.5)
         level = min(level, 1.0 - 1e-12)
         horizon = float(self.dist.quantile(level))
-        return max(int(math.ceil(horizon / self.dt)) + 1, 1)
+        radius = max(int(math.ceil(horizon / self.dt)) + 1, 1)
+        self._radius_cache[n] = radius
+        return radius
 
     def _compute(self, n: int) -> float:
         i_bound = self._term_bound_radius(n)

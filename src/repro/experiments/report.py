@@ -17,6 +17,27 @@ from ..errors import ExperimentError
 __all__ = ["ResultTable", "ExperimentResult", "format_table", "format_value"]
 
 
+def _jsonable(value):
+    """One table cell as a JSON-native value that renders identically.
+
+    Numpy scalars become their Python equivalents (``np.float64`` is
+    already a ``float`` subclass; ``np.int64``/``np.bool_`` convert via
+    ``.item()``); anything else falls back to ``str``, which is exactly
+    how :func:`format_value` renders it anyway — so a cached result's
+    ``render()`` is byte-identical to the live run's.
+    """
+    if value is None or isinstance(value, (str, bool)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    item = getattr(value, "item", None)
+    if item is not None:
+        return _jsonable(item())
+    return str(value)
+
+
 def format_value(value) -> str:
     """Render one cell: floats get 4 significant digits, rest ``str``."""
     if isinstance(value, bool) or value is None:
@@ -75,6 +96,23 @@ class ResultTable:
             ) from exc
         return [row[index] for row in self.rows]
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`ExperimentResult.to_dict`)."""
+        return {
+            "caption": self.caption,
+            "headers": list(self.headers),
+            "rows": [[_jsonable(cell) for cell in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResultTable":
+        """Rebuild a table stored by :meth:`to_dict`."""
+        return cls(
+            caption=data["caption"],
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+        )
+
 
 @dataclass
 class ExperimentResult:
@@ -117,6 +155,34 @@ class ExperimentResult:
             parts.append("")
             parts.extend(f"note: {note}" for note in self.notes)
         return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form, for the result cache and tooling.
+
+        The round-trip through :meth:`from_dict` preserves ``render()``
+        byte-for-byte: cells are stored as JSON-native values that
+        :func:`format_value` renders identically.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "tables": [table.to_dict() for table in self.tables],
+            "notes": list(self.notes),
+            "charts": list(self.charts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result stored by :meth:`to_dict`."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            paper_reference=data["paper_reference"],
+            tables=[ResultTable.from_dict(t) for t in data.get("tables", [])],
+            notes=list(data.get("notes", [])),
+            charts=list(data.get("charts", [])),
+        )
 
     def save_csv(self, directory: str | Path) -> list[Path]:
         """Write one CSV per table into ``directory`` for external analysis.

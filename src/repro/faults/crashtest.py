@@ -325,41 +325,89 @@ def _fill_result(result: CrashCaseResult, report: RecoveryReport) -> None:
     result.verified = report.verified
 
 
+def _crash_case_task(
+    engine: str, fault: str, seed: int, workdir: str, n_points: int
+) -> CrashCaseResult:
+    """Worker task: one matrix cell, reporting on the worker's bus."""
+    from ..obs.telemetry import global_telemetry
+
+    bus = global_telemetry()
+    return run_crash_case(
+        engine,
+        fault,
+        seed,
+        workdir,
+        n_points=n_points,
+        telemetry=bus if bus.enabled else None,
+    )
+
+
+def _matrix_cells(keys: list[str], seeds: int) -> list[tuple[str, str, int]]:
+    """Every (engine, fault, seed) cell, in the serial sweep's order.
+
+    The ``corrupt_checkpoint`` kind is skipped for the adaptive engine,
+    which never checkpoints (its recovery is always a full WAL replay).
+    """
+    cells = []
+    for key in keys:
+        for fault in FAULT_KINDS:
+            if fault == "corrupt_checkpoint" and key == "adaptive":
+                continue
+            for seed in range(seeds):
+                cells.append((key, fault, seed))
+    return cells
+
+
 def run_crash_test(
     engines: list[str] | None = None,
     seeds: int = 3,
     n_points: int = 6000,
     workdir: str | None = None,
     telemetry=None,
+    workers: int | None = None,
 ) -> CrashTestReport:
     """Run the full crash-test matrix: engines × fault kinds × seeds.
 
-    The ``corrupt_checkpoint`` kind is skipped for the adaptive engine,
-    which never checkpoints (its recovery is always a full WAL replay).
+    Every cell is independent (its WAL/checkpoint files are keyed by
+    ``engine-fault-seed``), so ``workers`` > 1 fans the matrix out over
+    a process pool with results identical to the serial sweep; worker
+    telemetry is merged into ``telemetry`` (or the process-global bus).
     """
+    from ..parallel.pool import Task, resolve_workers, run_tasks
+
     keys = list(engines) if engines else list(CRASH_TEST_ENGINES)
     for key in keys:
         if key not in _ENGINE_CLASSES:
             raise FaultError(
                 f"unknown engine {key!r}; expected one of {CRASH_TEST_ENGINES}"
             )
+    cells = _matrix_cells(keys, seeds)
     report = CrashTestReport()
     with tempfile.TemporaryDirectory() as tmp:
         base = workdir if workdir is not None else tmp
         os.makedirs(base, exist_ok=True)
-        for key in keys:
-            for fault in FAULT_KINDS:
-                if fault == "corrupt_checkpoint" and key == "adaptive":
-                    continue
-                for seed in range(seeds):
-                    report.results.append(
-                        run_crash_case(
-                            key,
-                            fault,
-                            seed,
-                            base,
-                            n_points=n_points,
-                            telemetry=telemetry,
-                        )
+        if resolve_workers(workers) > 1:
+            tasks = [
+                Task(
+                    fn=_crash_case_task,
+                    args=(key, fault, seed, base, n_points),
+                    label=f"crash:{key}-{fault}-{seed}",
+                )
+                for key, fault, seed in cells
+            ]
+            report.results.extend(
+                run_tasks(tasks, workers=workers, telemetry=telemetry)
+            )
+        else:
+            for key, fault, seed in cells:
+                report.results.append(
+                    run_crash_case(
+                        key,
+                        fault,
+                        seed,
+                        base,
+                        n_points=n_points,
+                        telemetry=telemetry,
                     )
+                )
     return report

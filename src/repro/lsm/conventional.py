@@ -81,13 +81,13 @@ class ConventionalEngine(LsmEngine):
         lo, hi = float(mem_tg[0]), float(mem_tg[-1])
         region = self.run.overlap_slice(lo, hi)
         victims = self.run.tables[region]
+        rewritten = self.run.points_in(region)
         self._fault_boundary("merge" if victims else "flush")
         with self.telemetry.span("compaction", engine=self.policy_name) as span:
             merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
             new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
             self.run.replace(region, new_tables)
             self._memtable.clear()
-            rewritten = sum(len(t) for t in victims)
             span.rename("merge" if victims else "flush")
             span.set(
                 new_points=int(mem_tg.size),

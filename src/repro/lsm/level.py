@@ -28,6 +28,11 @@ class Run:
         # Cached min_tg per table for binary search; rebuilt on mutation.
         self._mins = np.empty(0, dtype=np.float64)
         self._maxs = np.empty(0, dtype=np.float64)
+        # Cached per-table point counts and their total, maintained
+        # incrementally: total_points sits on the stats/invariant hot
+        # path and must not re-walk every table.
+        self._lens = np.empty(0, dtype=np.int64)
+        self._points = 0
 
     # -- views ----------------------------------------------------------------
 
@@ -49,8 +54,17 @@ class Run:
 
     @property
     def total_points(self) -> int:
-        """Total points across the run."""
-        return sum(len(t) for t in self._tables)
+        """Total points across the run (cached; O(1))."""
+        return self._points
+
+    def points_in(self, region: slice) -> int:
+        """Total points across the tables in ``region``.
+
+        One vectorised sum over the cached length array — this is how
+        compactions count their rewrite volume without a Python-level
+        walk over every victim table.
+        """
+        return int(self._lens[region].sum())
 
     @property
     def max_tg(self) -> float:
@@ -104,7 +118,7 @@ class Run:
             return 0
         # Tables entirely above `value` contribute fully.
         first_above = int(np.searchsorted(self._mins, value, side="right"))
-        count = sum(len(t) for t in self._tables[first_above:])
+        count = int(self._lens[first_above:].sum())
         # The boundary table (if it straddles `value`) contributes a part.
         if first_above > 0:
             boundary = self._tables[first_above - 1]
@@ -145,6 +159,8 @@ class Run:
         self._tables = []
         self._mins = np.empty(0, dtype=np.float64)
         self._maxs = np.empty(0, dtype=np.float64)
+        self._lens = np.empty(0, dtype=np.int64)
+        self._points = 0
         return removed
 
     # -- invariants -----------------------------------------------------------------
@@ -185,11 +201,16 @@ class Run:
         """
         new_mins = np.asarray([t.min_tg for t in new_tables], dtype=np.float64)
         new_maxs = np.asarray([t.max_tg for t in new_tables], dtype=np.float64)
+        new_lens = np.asarray([len(t) for t in new_tables], dtype=np.int64)
+        self._points += int(new_lens.sum()) - int(self._lens[region].sum())
         self._mins = np.concatenate(
             (self._mins[: region.start], new_mins, self._mins[region.stop :])
         )
         self._maxs = np.concatenate(
             (self._maxs[: region.start], new_maxs, self._maxs[region.stop :])
+        )
+        self._lens = np.concatenate(
+            (self._lens[: region.start], new_lens, self._lens[region.stop :])
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

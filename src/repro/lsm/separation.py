@@ -77,6 +77,14 @@ class SeparationEngine(LsmEngine):
             # LAST(R).t_g is constant until the next flush/merge, so the
             # whole remaining chunk classifies with one comparison.
             is_seq = chunk > self.run.max_tg
+            if chunk.size < self._seq.room and chunk.size < self._nonseq.room:
+                # Even if every point lands in one MemTable it cannot
+                # fill, so skip the cumsum/searchsorted fill-event scan.
+                sub_ids = ids[pos:]
+                self._seq.extend(chunk[is_seq], sub_ids[is_seq])
+                self._nonseq.extend(chunk[~is_seq], sub_ids[~is_seq])
+                self._arrival_cursor = int(sub_ids[-1]) + 1
+                return
             cum_seq = np.cumsum(is_seq)
             cum_nonseq = np.arange(1, chunk.size + 1) - cum_seq
             fill_seq = int(np.searchsorted(cum_seq, self._seq.room, side="left"))
@@ -139,6 +147,7 @@ class SeparationEngine(LsmEngine):
         lo, hi = float(tg[0]), float(tg[-1])
         region = self.run.overlap_slice(lo, hi)
         victims = self.run.tables[region]
+        rewritten = self.run.points_in(region)
         self._fault_boundary("merge")
         with self.telemetry.span(
             "merge", engine=self.policy_name, memtable="C_nonseq"
@@ -149,7 +158,7 @@ class SeparationEngine(LsmEngine):
             self._nonseq.clear()
             span.set(
                 new_points=int(tg.size),
-                rewritten_points=sum(len(t) for t in victims),
+                rewritten_points=rewritten,
                 tables_rewritten=len(victims),
                 tables_written=len(new_tables),
             )
@@ -159,7 +168,7 @@ class SeparationEngine(LsmEngine):
                 kind="merge",
                 arrival_index=self.processed_points,
                 new_points=int(tg.size),
-                rewritten_points=sum(len(t) for t in victims),
+                rewritten_points=rewritten,
                 tables_rewritten=len(victims),
                 tables_written=len(new_tables),
             )

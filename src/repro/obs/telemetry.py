@@ -182,6 +182,41 @@ class Telemetry:
                 return sink.events
         return []
 
+    # -- cross-process merge ----------------------------------------------------
+
+    def snapshot_payload(self) -> dict:
+        """JSON-serialisable snapshot for cross-process hand-off.
+
+        A worker process captures its bus with this after finishing a
+        task; the parent folds it back in with :meth:`absorb`.
+        """
+        return {
+            "metrics": self.registry.as_dict(),
+            "events": [dict(event) for event in self.ring_events()],
+        }
+
+    def absorb(self, payload: dict, worker: str | None = None) -> None:
+        """Fold a child bus snapshot into this bus.
+
+        Metrics merge exactly (counters add, histograms combine), so
+        totals equal what a serial run would have recorded.  Events are
+        re-emitted here tagged with ``worker``; they are re-stamped with
+        this bus's ``seq``/``ts_ms``, so within-worker order is preserved
+        but cross-worker interleaving follows absorption order.
+        """
+        if not self.enabled:
+            return
+        self.registry.merge_snapshot(payload.get("metrics", {}))
+        for event in payload.get("events", []):
+            forwarded = {
+                key: value
+                for key, value in event.items()
+                if key not in ("seq", "ts_ms")
+            }
+            if worker is not None:
+                forwarded.setdefault("worker", worker)
+            self.emit(forwarded)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "on" if self.enabled else "off"
         return f"Telemetry({state}, sinks={len(self.sinks)}, events={self._seq})"

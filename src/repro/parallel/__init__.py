@@ -1,0 +1,47 @@
+"""Parallel execution: task pool, result cache, fan-out drivers.
+
+The scale-out layer every batch entry point routes through:
+
+* :func:`run_tasks` / :class:`Task` — a deterministic process pool with
+  per-task seeding and telemetry round-trip (worker metrics/events are
+  merged back into the parent bus, totals equal to a serial run);
+* :class:`ResultCache` — a content-hash experiment cache (id + config +
+  dataset fingerprint + code version) so unchanged experiments are
+  skipped on re-runs;
+* :func:`run_experiments` — the registry driver behind
+  ``python -m repro run-all --workers N``;
+* :func:`sweep_wa_vs_nseq_parallel` — one worker per ``n_seq``
+  candidate (also reachable via ``sweep_wa_vs_nseq(..., workers=N)``);
+* the crash-test matrix accepts ``workers=`` directly
+  (:func:`repro.faults.crashtest.run_crash_test`).
+
+Every parallel path is guaranteed bit-identical to its serial
+counterpart: tasks are pure functions of explicit inputs, results are
+collected in task order, and worker counts only change wall-clock time.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    code_fingerprint,
+    dataset_fingerprint,
+    experiment_key,
+)
+from .experiments import ExperimentRun, run_experiments
+from .pool import Task, resolve_workers, run_tasks, task_seed
+from .sweep import sweep_wa_vs_nseq_parallel
+
+__all__ = [
+    "Task",
+    "run_tasks",
+    "resolve_workers",
+    "task_seed",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "code_fingerprint",
+    "dataset_fingerprint",
+    "experiment_key",
+    "ExperimentRun",
+    "run_experiments",
+    "sweep_wa_vs_nseq_parallel",
+]

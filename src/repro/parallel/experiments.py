@@ -1,0 +1,100 @@
+"""Registry-wide experiment driver: cached, parallel, deterministic.
+
+:func:`run_experiments` is what ``python -m repro run-all`` calls: it
+resolves cache hits in the parent, fans the misses out over the task
+pool (one worker task per experiment), stores fresh results back into
+the cache, and returns everything in registry order.  Each experiment is
+a pure function of ``(experiment_id, scale, seed)``, so the fan-out is
+byte-identical to the serial path regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from ..experiments.report import ExperimentResult
+from .cache import ResultCache, experiment_key
+from .pool import Task, run_tasks
+
+__all__ = ["ExperimentRun", "run_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One driver outcome: the result plus how it was obtained."""
+
+    experiment_id: str
+    result: ExperimentResult
+    #: The result came from the cache (no execution happened).
+    cached: bool
+    #: Execution wall-time in seconds (0.0 for cache hits).
+    duration_s: float
+
+
+def _run_one(experiment_id: str, scale: float, seed: int | None):
+    """Worker task: run one experiment, timing it locally."""
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, scale=scale, seed=seed)
+    return result, time.perf_counter() - started
+
+
+def run_experiments(
+    ids: Iterable[str] | None = None,
+    scale: float = 1.0,
+    seed: int | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    telemetry=None,
+) -> list[ExperimentRun]:
+    """Run ``ids`` (default: every registered experiment) and return
+    :class:`ExperimentRun` entries in the requested order.
+
+    ``workers`` > 1 fans uncached experiments out over a process pool;
+    ``cache`` (a :class:`ResultCache`) skips experiments whose content
+    hash — id, config, dataset fingerprint, code version — already has a
+    stored result.  Results are bit-identical across worker counts and
+    cache states.
+    """
+    targets = list(ids) if ids is not None else experiment_ids()
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiment ids {unknown}; known: {experiment_ids()}"
+        )
+    runs: dict[int, ExperimentRun] = {}
+    pending: list[tuple[int, str, str | None]] = []
+    for index, experiment_id in enumerate(targets):
+        key = None
+        if cache is not None:
+            key = experiment_key(experiment_id, scale=scale, seed=seed)
+            hit = cache.load(key)
+            if hit is not None:
+                runs[index] = ExperimentRun(
+                    experiment_id=experiment_id,
+                    result=hit,
+                    cached=True,
+                    duration_s=0.0,
+                )
+                continue
+        pending.append((index, experiment_id, key))
+    tasks = [
+        Task(fn=_run_one, args=(experiment_id, scale, seed), label=experiment_id)
+        for _, experiment_id, _ in pending
+    ]
+    outcomes = run_tasks(tasks, workers=workers, telemetry=telemetry)
+    for (index, experiment_id, key), (result, duration_s) in zip(
+        pending, outcomes
+    ):
+        if cache is not None and key is not None:
+            cache.store(key, result)
+        runs[index] = ExperimentRun(
+            experiment_id=experiment_id,
+            result=result,
+            cached=False,
+            duration_s=duration_s,
+        )
+    return [runs[index] for index in range(len(targets))]

@@ -1,0 +1,116 @@
+"""Parallel ``n_seq`` sweep: one worker per candidate capacity.
+
+The measured half of :func:`repro.experiments.runner.sweep_wa_vs_nseq`
+is embarrassingly parallel — every ``n_seq`` candidate is an independent
+full engine run over the same dataset — while the modelled half shares a
+:class:`ZetaModel` / :class:`InOrderCurve` pair whose caches make the
+serial evaluation cheap.  So the fan-out sends only the engine runs to
+workers and keeps the model evaluation in the parent, reproducing the
+serial sweep's numbers exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_MODEL_CONFIG, ModelConfig
+from ..core import InOrderCurve, ZetaModel, predict_wa_conventional, separation_breakdown
+from ..distributions import DelayDistribution
+from ..workloads import TimeSeriesDataset
+from .pool import Task, run_tasks
+
+__all__ = ["sweep_wa_vs_nseq_parallel"]
+
+
+def _measure_separation_wa(
+    dataset: TimeSeriesDataset,
+    memory_budget: int,
+    sstable_size: int,
+    n_seq: int,
+) -> float:
+    """Worker task: measured WA of one ``pi_s(n_seq)`` run."""
+    from ..experiments.runner import measure_wa
+
+    engine = measure_wa(
+        dataset, "separation", memory_budget, sstable_size, seq_capacity=n_seq
+    )
+    return float(engine.write_amplification)
+
+
+def _measure_conventional_wa(
+    dataset: TimeSeriesDataset, memory_budget: int, sstable_size: int
+) -> float:
+    """Worker task: measured WA of the ``pi_c`` reference run."""
+    from ..experiments.runner import measure_wa
+
+    engine = measure_wa(dataset, "conventional", memory_budget, sstable_size)
+    return float(engine.write_amplification)
+
+
+def sweep_wa_vs_nseq_parallel(
+    dataset: TimeSeriesDataset,
+    dist: DelayDistribution,
+    dt: float,
+    memory_budget: int,
+    sstable_size: int,
+    n_seq_values: list[int],
+    model_config: ModelConfig = DEFAULT_MODEL_CONFIG,
+    workers: int | None = None,
+    telemetry=None,
+):
+    """Parallel drop-in for :func:`~repro.experiments.runner.sweep_wa_vs_nseq`.
+
+    Returns the same :class:`~repro.experiments.runner.WaSweep`, computed
+    with one worker per ``n_seq`` candidate (plus one for the ``pi_c``
+    reference).  Bit-identical to the serial sweep for any worker count.
+    """
+    from ..experiments.runner import WaSweep
+
+    tasks = [
+        Task(
+            fn=_measure_separation_wa,
+            args=(dataset, memory_budget, sstable_size, int(n_seq)),
+            label=f"sweep:n_seq={int(n_seq)}",
+        )
+        for n_seq in n_seq_values
+    ]
+    tasks.append(
+        Task(
+            fn=_measure_conventional_wa,
+            args=(dataset, memory_budget, sstable_size),
+            label="sweep:pi_c",
+        )
+    )
+    values = run_tasks(tasks, workers=workers, telemetry=telemetry)
+    measured = values[:-1]
+    measured_conventional = values[-1]
+
+    zeta_model = ZetaModel(dist, dt, model_config)
+    curve = InOrderCurve(dist, dt)
+    modelled = [
+        separation_breakdown(
+            dist,
+            dt,
+            memory_budget,
+            int(n_seq),
+            config=model_config,
+            zeta_model=zeta_model,
+            in_order_curve=curve,
+        ).wa
+        for n_seq in n_seq_values
+    ]
+    r_c = predict_wa_conventional(
+        dist,
+        dt,
+        memory_budget,
+        config=model_config,
+        zeta_model=zeta_model,
+        sstable_size=sstable_size,
+    )
+    return WaSweep(
+        n_seq=np.asarray(list(n_seq_values), dtype=int),
+        measured=np.asarray(measured, dtype=float),
+        modelled=np.asarray(modelled, dtype=float),
+        measured_conventional=float(measured_conventional),
+        modelled_conventional=float(r_c),
+    )
