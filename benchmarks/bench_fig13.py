@@ -1,6 +1,5 @@
 """Benchmark: regenerate Figure 13 (recent-query latency)."""
 
-import numpy as np
 
 from repro.experiments.fig13_recent_latency import run
 

@@ -14,7 +14,6 @@ the write-amplification simulator.
 Run with:  python examples/iiot_fleet_advisor.py
 """
 
-import numpy as np
 
 import repro
 from repro.stats import autocorrelation

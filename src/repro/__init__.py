@@ -113,11 +113,14 @@ from .obs import (
 )
 from .lsm import (
     AdaptiveEngine,
+    ComposedEngine,
     FleetReport,
     InvariantChecker,
     RecoveryReport,
+    StorageKernel,
     TieredEngine,
     TimeSeriesDatabase,
+    compose_engine,
     ConventionalEngine,
     IoTDBStyleEngine,
     LsmEngine,
@@ -191,6 +194,9 @@ __all__ = [
     "IoTDBStyleEngine",
     "MultiLevelEngine",
     "TieredEngine",
+    "StorageKernel",
+    "ComposedEngine",
+    "compose_engine",
     "TimeSeriesDatabase",
     "FleetReport",
     "Snapshot",

@@ -13,6 +13,7 @@ Usage::
     python -m repro crash-test --engines all --seeds 3 --workers 4
     python -m repro checkpoint --dir state/
     python -m repro recover --dir state/
+    python -m repro engines
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (see 'list'), 'all', 'list', or a subcommand: "
             "'run-all', 'telemetry-report <trace.jsonl>', 'crash-test', "
-            "'checkpoint', 'recover'"
+            "'checkpoint', 'recover', 'engines'"
         ),
     )
     parser.add_argument(
@@ -344,8 +345,40 @@ def _run_all(argv: list[str]) -> int:
     return 0
 
 
+def _build_engines_parser() -> argparse.ArgumentParser:
+    return argparse.ArgumentParser(
+        prog="repro-experiments engines",
+        description=(
+            "List every registered engine as its policy triple (placement "
+            "x flush x compaction); novel combinations are available via "
+            "repro.lsm.policies.compose_engine"
+        ),
+    )
+
+
+def _engines(argv: list[str]) -> int:
+    """The ``engines`` subcommand; returns an exit code."""
+    from .lsm.policies import engine_compositions
+
+    _build_engines_parser().parse_args(argv)
+    rows = engine_compositions()
+    headers = ("engine", "policy_name", "placement", "flush", "compaction")
+    widths = [
+        max(len(header), max(len(row[header]) for row in rows))
+        for header in headers
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(row[h].ljust(w) for h, w in zip(headers, widths)))
+    print(f"[{len(rows)} engine configurations registered]")
+    return 0
+
+
 _SUBCOMMANDS = {
     "run-all": _run_all,
+    "engines": _engines,
     "telemetry-report": _telemetry_report,
     "crash-test": _crash_test,
     "checkpoint": _checkpoint,

@@ -10,7 +10,7 @@ by the throughput and query-latency experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .errors import ConfigError
 

@@ -23,13 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..config import DEFAULT_MODEL_CONFIG, ModelConfig
 from ..distributions import DelayDistribution
 from ..errors import ModelError
-from .arrival_ratio import InOrderCurve
-from .subsequent import ZetaModel
 from .tuning import tune_separation_policy
 
 __all__ = ["SeriesWorkload", "SeriesAllocation", "allocate_budgets"]

@@ -18,8 +18,13 @@ import numpy as np
 
 from ..core import ZetaModel
 from ..distributions import LogNormalDelay
-from ..lsm import ConventionalEngine
 from ..config import LsmConfig
+from ..lsm.policies import (
+    LeveledSingleRun,
+    MergeFlush,
+    SinglePlacement,
+    StorageKernel,
+)
 from ..workloads import generate_synthetic
 from .asciiplot import line_plot
 from .report import ExperimentResult
@@ -38,20 +43,38 @@ _BUFFER_SIZES = (32, 64, 96, 128, 192, 256, 384, 512)
 _BASE_POINTS = 120_000
 
 
-class _InstrumentedConventional(ConventionalEngine):
-    """Conventional engine that records per-merge subsequent counts."""
+class _CountingLeveled(LeveledSingleRun):
+    """Leveled compaction that records per-merge subsequent counts."""
 
-    def __init__(self, config: LsmConfig) -> None:
-        super().__init__(config)
+    def __init__(self) -> None:
+        super().__init__()
         self.subsequent_counts: list[int] = []
 
-    def _compact_memtable(self) -> None:
-        buffered = self._memtable.peek_tg()
+    def compact_memtable(self, memtable) -> None:
+        buffered = memtable.peek_tg()
         if buffered.size and not self.run.empty:
             self.subsequent_counts.append(
                 self.run.count_points_above(float(buffered.min()))
             )
-        super()._compact_memtable()
+        super().compact_memtable(memtable)
+
+
+class _InstrumentedConventional(StorageKernel):
+    """``pi_c`` composed with the counting compaction policy above."""
+
+    policy_name = "pi_c"
+
+    def __init__(self, config: LsmConfig) -> None:
+        super().__init__(
+            config,
+            placement=SinglePlacement(),
+            flush=MergeFlush(),
+            compaction=_CountingLeveled(),
+        )
+
+    @property
+    def subsequent_counts(self) -> list[int]:
+        return self.compaction.subsequent_counts
 
 
 def _measured_subsequent(buffer_size: int, sigma: float, n_points: int, seed: int) -> float:

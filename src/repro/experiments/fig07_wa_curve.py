@@ -8,7 +8,6 @@ measured WA; the flat line is ``r_c``; the U-shaped curve is
 
 from __future__ import annotations
 
-from ..core import predict_wa_conventional
 from ..distributions import LogNormalDelay
 from ..workloads import generate_synthetic
 from .asciiplot import line_plot

@@ -9,10 +9,7 @@ budget is 8 points ("to trigger merges", Section V-A footnote).
 
 from __future__ import annotations
 
-from ..core import (
-    predict_wa_conventional,
-    tune_separation_policy,
-)
+from ..core import tune_separation_policy
 from ..workloads import S9_MEMORY_BUDGET, generate_s9
 from .report import ExperimentResult
 from .runner import dataset_delay_model, measure_wa

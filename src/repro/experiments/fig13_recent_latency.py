@@ -10,8 +10,6 @@ values are model units, not the paper's nanoseconds.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..workloads import TABLE_II
 from ._query_grid import QUERY_WINDOWS_MS, query_grid
 from .report import ExperimentResult

@@ -8,8 +8,6 @@ approximate models still detect that pi_c beats pi_s(n̂*_seq) (Figure
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core import tune_separation_policy
 from ..stats import autocorrelation
 from ..workloads import generate_vehicle_h

@@ -11,8 +11,6 @@ WA saving and the decision breakdown.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core import SeriesWorkload, allocate_budgets
 from ..distributions import EmpiricalDelay
 from ..lsm import TimeSeriesDatabase

@@ -36,6 +36,7 @@ EXPERIMENTS: dict[str, str] = {
     "ablation_tiering": "ablation_tiering",
     "ablation_read_model": "ablation_read_model",
     "ablation_crossover": "ablation_crossover",
+    "ablation_composed": "ablation_composed",
     "fleet": "fleet_casestudy",
     "concepts": "concepts",
     "validation": "validation",

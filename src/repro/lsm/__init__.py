@@ -3,17 +3,25 @@
 This is the substrate the paper's experiments ran on: a leveled LSM-tree
 for time-series points keyed by generation time, with per-point write
 counters ("a prototype system that records the writing times of each
-point", Section III).  Engines:
+point", Section III).  Every engine is a placement × flush × compaction
+composition over the single :class:`~repro.lsm.policies.StorageKernel`
+(see :doc:`docs/architecture`).  Engines:
 
-* :class:`ConventionalEngine` — ``pi_c``: one MemTable, leveled merges.
+* :class:`ConventionalEngine` — ``pi_c``: one MemTable, leveled merges
+  (``single + merge + leveled``).
 * :class:`SeparationEngine` — ``pi_s(n_seq)``: in-order/out-of-order
-  MemTables; flush-only for ``C_seq``, merge on full ``C_nonseq``.
-* :class:`AdaptiveEngine` — ``pi_adaptive``: analyzer-driven switching.
+  MemTables; flush-only for ``C_seq``, merge on full ``C_nonseq``
+  (``split + separation + leveled``).
+* :class:`AdaptiveEngine` — ``pi_adaptive``: analyzer-driven switching
+  between the two compositions above.
 * :class:`IoTDBStyleEngine` — the deployed two-level variant with
   overlapping L1 flush files and background compaction (throughput and
   query experiments).
 * :class:`MultiLevelEngine` — textbook size-ratio-``T`` leveling, the
   general-WA baseline contrasted in Section VII-A.
+* :class:`TieredEngine` — size-tiered compaction, the low-WA baseline.
+* :func:`~repro.lsm.policies.compose_engine` — any other triple, by
+  name (:class:`~repro.lsm.policies.ComposedEngine`).
 
 Durability (see :doc:`docs/durability`): every engine can write a
 checksummed WAL before MemTable placement (:mod:`repro.lsm.wal`),
@@ -34,6 +42,7 @@ from .level import Run
 from .memtable import MemTable
 from .multilevel import MultiLevelEngine
 from .points import PointBatch, sort_by_generation
+from .policies import ComposedEngine, StorageKernel, compose_engine
 from .recovery import RecoveryReport, recover_adaptive, recover_engine
 from .separation import SeparationEngine
 from .sstable import SSTable, build_sstables
@@ -51,6 +60,9 @@ __all__ = [
     "IoTDBStyleEngine",
     "MultiLevelEngine",
     "TieredEngine",
+    "StorageKernel",
+    "ComposedEngine",
+    "compose_engine",
     "TimeSeriesDatabase",
     "SeriesState",
     "FleetReport",

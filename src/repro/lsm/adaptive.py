@@ -6,12 +6,20 @@ writing.  If it finds that the distribution of delays changes, it would
 trigger the Separation Policy Tuning Algorithm (Algorithm 1) to update
 the policy."
 
-The engine wraps a live :class:`ConventionalEngine` or
-:class:`SeparationEngine`; on a switch the current buffers are flushed,
-the on-disk run and the write statistics carry over, and ingestion
-continues under the new policy.  Because the analyzer needs delays, this
-engine ingests *(generation, arrival)* pairs rather than bare generation
-times.
+The engine is a first-class :class:`~repro.lsm.base.LsmEngine` wrapping
+a live :class:`ConventionalEngine` or :class:`SeparationEngine`; on a
+switch the current buffers are flushed, the on-disk run and the write
+statistics carry over, and ingestion continues under the new policy.
+Because the analyzer needs delays, this engine ingests *(generation,
+arrival)* pairs rather than bare generation times — its WAL records
+carry both so recovery can replay through the analyzer.
+
+Checkpoints serialise the wrapper (decision/switch logs, retune cursor)
+plus the inner engine component-wise, so by-name restore through
+``LsmEngine.restore`` revives the exact storage state.  The analyzer's
+reservoir is deliberately *not* durable: a restored engine re-learns the
+delay distribution, which only affects future retune timing, never the
+recovered data or accounting.
 """
 
 from __future__ import annotations
@@ -24,21 +32,20 @@ import numpy as np
 from ..config import LsmConfig
 from ..core.analyzer import DelayAnalyzer
 from ..core.tuning import SEPARATION, PolicyDecision
-from ..errors import EngineClosedError, EngineError
+from ..errors import EngineError
 from ..faults.injector import FaultInjector
-from ..obs.telemetry import Telemetry, build_telemetry
-from .base import Snapshot
+from ..obs.telemetry import Telemetry
+from .base import LsmEngine, Snapshot
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
 from .wa_tracker import WriteStats
-from .wal import WriteAheadLog
 
 __all__ = ["AdaptiveEngine"]
 
 logger = logging.getLogger(__name__)
 
 
-class AdaptiveEngine:
+class AdaptiveEngine(LsmEngine):
     """LSM engine that re-tunes its buffering policy as delays drift."""
 
     policy_name = "pi_adaptive"
@@ -49,16 +56,18 @@ class AdaptiveEngine:
         analyzer: DelayAnalyzer | None = None,
         check_interval: int = 8192,
         min_seq_change: float = 0.05,
+        stats: WriteStats | None = None,
         telemetry: Telemetry | None = None,
         faults: FaultInjector | None = None,
     ) -> None:
         if check_interval < 1:
             raise EngineError(f"check_interval must be >= 1, got {check_interval}")
-        self.config = config if config is not None else LsmConfig()
-        self.telemetry = (
-            telemetry if telemetry is not None else build_telemetry(self.config)
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            telemetry=telemetry,
+            faults=faults,
         )
-        self.stats = WriteStats()
         self.analyzer = (
             analyzer
             if analyzer is not None
@@ -69,26 +78,10 @@ class AdaptiveEngine:
         )
         self.check_interval = check_interval
         self.min_seq_change = min_seq_change
-        #: Shared fault injector: one per logical engine, handed to each
-        #: inner engine so trigger counts survive policy switches.
-        if faults is not None:
-            self.faults = faults
-        elif self.config.fault_plan is not None:
-            self.faults = FaultInjector(self.config.fault_plan)
-        else:
-            self.faults = None
-        #: The WAL lives on the wrapper, not the inner engines — records
-        #: carry (tg, ta) pairs so recovery can replay through the
-        #: analyzer; inner engines get a durability-stripped config.
-        self._wal: WriteAheadLog | None = (
-            WriteAheadLog(
-                self.config.wal_path,
-                fsync=self.config.wal_fsync,
-                faults=self.faults,
-            )
-            if self.config.wal_path
-            else None
-        )
+        #: Inner engines get a durability-stripped config: the WAL and
+        #: fault injector live on the wrapper (the kernel base) — WAL
+        #: records must carry (tg, ta) pairs, and the shared injector's
+        #: trigger counts must survive policy switches.
         self._inner_config = dataclasses.replace(
             self.config, wal_path=None, fault_plan=None
         )
@@ -99,7 +92,6 @@ class AdaptiveEngine:
             faults=self.faults,
         )
         self._since_check = 0
-        self._closed = False
         #: ``(arrival_index, PolicyDecision)`` for every retune performed.
         self.decision_log: list[tuple[int, PolicyDecision]] = []
         #: ``(arrival_index, policy_label)`` for every actual switch.
@@ -109,9 +101,7 @@ class AdaptiveEngine:
 
     def ingest(self, tg: np.ndarray, ta: np.ndarray) -> None:
         """Feed aligned generation/arrival timestamp batches (arrival order)."""
-        if self._closed:
-            raise EngineClosedError(f"{self.policy_name}: engine is closed")
-        tg = np.ascontiguousarray(tg, dtype=np.float64)
+        tg = self._validate_batch(tg)
         ta = np.ascontiguousarray(ta, dtype=np.float64)
         if tg.shape != ta.shape:
             raise EngineError(f"tg and ta must align: {tg.shape} vs {ta.shape}")
@@ -135,24 +125,18 @@ class AdaptiveEngine:
             if self._since_check >= self.check_interval:
                 self._since_check = 0
                 self._maybe_retune()
+        # Keep the wrapper's cursors in lockstep with the inner engine so
+        # checkpoint metadata and WAL framing stay consistent.
+        self._next_id = self._engine.ingested_points
+        self._arrival_cursor = self._engine.processed_points
 
-    def flush_all(self) -> None:
-        """Persist any buffered points.
+    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        raise EngineError(
+            "pi_adaptive ingests (tg, ta) pairs; call ingest(tg, ta)"
+        )
 
-        Raises :class:`~repro.errors.EngineClosedError` once closed, like
-        every other engine.
-        """
-        if self._closed:
-            raise EngineClosedError(f"{self.policy_name}: engine is closed")
+    def _flush_buffers(self) -> None:
         self._engine.flush_all()
-
-    def close(self) -> None:
-        """Flush buffers and refuse further ingestion."""
-        if not self._closed:
-            self.flush_all()
-            self._closed = True
-            if self._wal is not None:
-                self._wal.close()
 
     def verify(self) -> None:
         """Run the crash-consistency invariants over the active engine."""
@@ -193,25 +177,12 @@ class AdaptiveEngine:
     def _switch(self, decision: PolicyDecision) -> None:
         old = self._engine
         old.flush_all()
-        if decision.policy == SEPARATION:
-            config = self._inner_config.with_seq_capacity(decision.seq_capacity)
-            self._engine = SeparationEngine(
-                config,
-                stats=self.stats,
-                run=old.run,
-                start_id=old.ingested_points,
-                telemetry=self.telemetry,
-                faults=self.faults,
-            )
-        else:
-            self._engine = ConventionalEngine(
-                self._inner_config,
-                stats=self.stats,
-                run=old.run,
-                start_id=old.ingested_points,
-                telemetry=self.telemetry,
-                faults=self.faults,
-            )
+        self._engine = self._build_inner(
+            "separation" if decision.policy == SEPARATION else "conventional",
+            seq_capacity=decision.seq_capacity,
+            run=old.run,
+            start_id=old.ingested_points,
+        )
         logger.info(
             "pi_adaptive switch at arrival %d: -> %s",
             old.ingested_points,
@@ -228,6 +199,33 @@ class AdaptiveEngine:
             )
             self.telemetry.count("adaptive.switches")
 
+    def _build_inner(
+        self,
+        policy: str,
+        seq_capacity: int | None = None,
+        run=None,
+        start_id: int = 0,
+    ) -> ConventionalEngine | SeparationEngine:
+        """One construction path for every inner-engine (re)build."""
+        if policy == "separation":
+            config = self._inner_config.with_seq_capacity(seq_capacity)
+            return SeparationEngine(
+                config,
+                stats=self.stats,
+                run=run,
+                start_id=start_id,
+                telemetry=self.telemetry,
+                faults=self.faults,
+            )
+        return ConventionalEngine(
+            self._inner_config,
+            stats=self.stats,
+            run=run,
+            start_id=start_id,
+            telemetry=self.telemetry,
+            faults=self.faults,
+        )
+
     # -- views ---------------------------------------------------------------------
 
     @property
@@ -243,21 +241,90 @@ class AdaptiveEngine:
         return self._engine.ingested_points
 
     @property
-    def write_amplification(self) -> float:
-        """Measured WA over the whole run (all policies combined)."""
-        return self.stats.write_amplification
-
-    @property
-    def wal(self) -> WriteAheadLog | None:
-        """The wrapper's write-ahead log (``None`` when durability is off)."""
-        return self._wal
+    def processed_points(self) -> int:
+        """Points actually placed in MemTables by the active engine."""
+        return self._engine.processed_points
 
     def snapshot(self) -> Snapshot:
         """Read view of the active engine."""
         return self._engine.snapshot()
+
+    def _sorted_table_groups(self):
+        return self._engine._sorted_table_groups()
+
+    def _loose_tables(self):
+        return self._engine._loose_tables()
+
+    # -- durability hooks ------------------------------------------------------
+
+    def _checkpoint_kwargs(self) -> dict:
+        return {
+            "check_interval": self.check_interval,
+            "min_seq_change": self.min_seq_change,
+        }
+
+    def _checkpoint_state(self, arrays) -> dict:
+        inner = self._engine
+        separation = isinstance(inner, SeparationEngine)
+        return {
+            "inner": {
+                "policy": "separation" if separation else "conventional",
+                "seq_capacity": inner.seq_capacity if separation else None,
+                "next_id": inner._next_id,
+                "arrival_cursor": inner._arrival_cursor,
+                "state": inner._checkpoint_state(arrays),
+            },
+            "since_check": self._since_check,
+            "decision_log": [
+                [index, _encode_decision(decision)]
+                for index, decision in self.decision_log
+            ],
+            "switch_log": [[index, label] for index, label in self.switch_log],
+        }
+
+    def _restore_state(self, state: dict, arrays) -> None:
+        inner_meta = state["inner"]
+        inner = self._build_inner(
+            inner_meta["policy"], seq_capacity=inner_meta["seq_capacity"]
+        )
+        inner._next_id = int(inner_meta["next_id"])
+        inner._arrival_cursor = int(inner_meta["arrival_cursor"])
+        inner._restore_state(inner_meta["state"], arrays)
+        self._engine = inner
+        self._since_check = int(state["since_check"])
+        self.decision_log = [
+            (int(index), _decode_decision(encoded))
+            for index, encoded in state["decision_log"]
+        ]
+        self.switch_log = [
+            (int(index), str(label)) for index, label in state["switch_log"]
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AdaptiveEngine(current={self.current_policy}, "
             f"ingested={self.ingested_points}, switches={len(self.switch_log)})"
         )
+
+
+def _encode_decision(decision: PolicyDecision) -> dict:
+    """JSON-able form of one Algorithm 1 output (sweep arrays as lists)."""
+    return {
+        "policy": decision.policy,
+        "seq_capacity": decision.seq_capacity,
+        "r_c": decision.r_c,
+        "r_s_star": decision.r_s_star,
+        "sweep_n_seq": np.asarray(decision.sweep_n_seq).tolist(),
+        "sweep_r_s": np.asarray(decision.sweep_r_s).tolist(),
+    }
+
+
+def _decode_decision(encoded: dict) -> PolicyDecision:
+    return PolicyDecision(
+        policy=encoded["policy"],
+        seq_capacity=encoded["seq_capacity"],
+        r_c=float(encoded["r_c"]),
+        r_s_star=float(encoded["r_s_star"]),
+        sweep_n_seq=np.asarray(encoded["sweep_n_seq"], dtype=np.int64),
+        sweep_r_s=np.asarray(encoded["sweep_r_s"], dtype=np.float64),
+    )

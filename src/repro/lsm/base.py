@@ -440,9 +440,11 @@ class LsmEngine(abc.ABC):
 
 def _engine_registry() -> dict[str, type["LsmEngine"]]:
     """Concrete engine classes by name, for checkpoint dispatch."""
+    from .adaptive import AdaptiveEngine
     from .conventional import ConventionalEngine
     from .iotdb_style import IoTDBStyleEngine
     from .multilevel import MultiLevelEngine
+    from .policies.compose import ComposedEngine
     from .separation import SeparationEngine
     from .tiered import TieredEngine
 
@@ -454,5 +456,7 @@ def _engine_registry() -> dict[str, type["LsmEngine"]]:
             IoTDBStyleEngine,
             MultiLevelEngine,
             TieredEngine,
+            AdaptiveEngine,
+            ComposedEngine,
         )
     }

@@ -7,7 +7,7 @@ import numpy as np
 from .points import sort_by_generation
 from .sstable import SSTable
 
-__all__ = ["merge_tables_with_batch"]
+__all__ = ["concat_sorted_tables", "merge_tables_with_batch", "stage_overlap_merge"]
 
 
 def merge_tables_with_batch(
@@ -29,3 +29,32 @@ def merge_tables_with_batch(
     tg = np.concatenate(parts_tg)
     ids = np.concatenate(parts_ids)
     return sort_by_generation(tg, ids)
+
+
+def concat_sorted_tables(
+    tables: list[SSTable],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate tables (possibly overlapping) into one sorted batch.
+
+    This is the staging step shared by every whole-group reorganisation:
+    a tiered level spilling its runs, a multilevel cascade moving a full
+    level down, and the IoTDB L1 -> L2 background compaction.
+    """
+    tg = np.concatenate([t.tg for t in tables])
+    ids = np.concatenate([t.ids for t in tables])
+    return sort_by_generation(tg, ids)
+
+
+def stage_overlap_merge(run, tg: np.ndarray):
+    """Stage a leveled merge of a sorted batch into ``run``.
+
+    Returns ``(region, victims, rewritten)``: the contiguous slice of
+    tables overlapping the batch's generation-time range, those tables,
+    and their total point count.  Pure staging — nothing mutates, so a
+    fault boundary may still abort the compaction afterwards.
+    """
+    lo, hi = float(tg[0]), float(tg[-1])
+    region = run.overlap_slice(lo, hi)
+    victims = run.tables[region]
+    rewritten = run.points_in(region)
+    return region, victims, rewritten

@@ -5,33 +5,27 @@ merges the data in C0 and those in SSTables, which have overlapping key
 ranges with C0, to form new SSTables so that the data are sorted on the
 disk." (Section I-A.)
 
-The merge operates at SSTable granularity — any SSTable that overlaps the
-MemTable's generation-time range is rewritten in full — which is exactly
-the behaviour the analytical model under-approximates by counting
-individual subsequent points (Section III, error bound of 1).
+As a composition: ``single`` placement, ``merge`` flush, ``leveled``
+compaction.  The merge operates at SSTable granularity — any SSTable
+that overlaps the MemTable's generation-time range is rewritten in full
+— which is exactly the behaviour the analytical model under-approximates
+by counting individual subsequent points (Section III, error bound 1).
 """
 
 from __future__ import annotations
 
-import logging
-
-import numpy as np
-
 from ..config import LsmConfig
-from .base import LsmEngine, MemTableView, Snapshot
-from .checkpoint import pack_memtable, pack_run, unpack_memtable, unpack_run
-from .compaction import merge_tables_with_batch
 from .level import Run
-from .memtable import MemTable
-from .sstable import build_sstables
-from .wa_tracker import CompactionEvent, WriteStats
+from .policies.compaction import LeveledSingleRun
+from .policies.flush import MergeFlush
+from .policies.kernel import StorageKernel
+from .policies.placement import SinglePlacement
+from .wa_tracker import WriteStats
 
 __all__ = ["ConventionalEngine"]
 
-logger = logging.getLogger(__name__)
 
-
-class ConventionalEngine(LsmEngine):
+class ConventionalEngine(StorageKernel):
     """Leveled LSM engine under the conventional (no-separation) policy."""
 
     policy_name = "pi_c"
@@ -46,97 +40,17 @@ class ConventionalEngine(LsmEngine):
         faults=None,
     ) -> None:
         super().__init__(
-            config if config is not None else LsmConfig(),
-            stats,
-            start_id,
+            config,
+            placement=SinglePlacement(),
+            flush=MergeFlush(),
+            compaction=LeveledSingleRun(run),
+            stats=stats,
+            start_id=start_id,
             telemetry=telemetry,
             faults=faults,
         )
-        self.run = run if run is not None else Run()
-        self._memtable = MemTable(self.config.memory_budget, name="C0")
 
-    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        pos = 0
-        total = tg.size
-        while pos < total:
-            take = min(self._memtable.room, total - pos)
-            self._memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
-            pos += take
-            self._arrival_cursor = int(ids[pos - 1]) + 1
-            if self._memtable.full:
-                self._compact_memtable()
-
-    def _flush_buffers(self) -> None:
-        if not self._memtable.empty:
-            self._compact_memtable()
-
-    def _compact_memtable(self) -> None:
-        """Merge C0 into the run (leveled compaction).
-
-        Staged then committed: everything is computed from a *view* of
-        the MemTable, the fault boundary fires, and only then does state
-        mutate — an injected crash leaves the engine exactly as it was.
-        """
-        mem_tg, mem_ids = self._memtable.sorted_view()
-        lo, hi = float(mem_tg[0]), float(mem_tg[-1])
-        region = self.run.overlap_slice(lo, hi)
-        victims = self.run.tables[region]
-        rewritten = self.run.points_in(region)
-        self._fault_boundary("merge" if victims else "flush")
-        with self.telemetry.span("compaction", engine=self.policy_name) as span:
-            merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
-            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-            self.run.replace(region, new_tables)
-            self._memtable.clear()
-            span.rename("merge" if victims else "flush")
-            span.set(
-                new_points=int(mem_tg.size),
-                rewritten_points=rewritten,
-                tables_rewritten=len(victims),
-                tables_written=len(new_tables),
-            )
-            self.stats.record_written(merged_ids)
-        logger.debug(
-            "pi_c merge: %d new + %d rewritten points across %d tables "
-            "(arrival %d)",
-            mem_tg.size,
-            rewritten,
-            len(victims),
-            self.processed_points,
-        )
-        self.stats.record_event(
-            CompactionEvent(
-                kind="merge" if victims else "flush",
-                arrival_index=self.processed_points,
-                new_points=int(mem_tg.size),
-                rewritten_points=rewritten,
-                tables_rewritten=len(victims),
-                tables_written=len(new_tables),
-            )
-        )
-
-    def snapshot(self) -> Snapshot:
-        views = []
-        if not self._memtable.empty:
-            views.append(MemTableView(
-                name="C0",
-                tg=self._memtable.peek_tg(),
-                ids=self._memtable.peek_ids(),
-            ))
-        return Snapshot(tables=list(self.run.tables), memtables=views)
-
-    # -- durability hooks ------------------------------------------------------
-
-    def _checkpoint_state(self, arrays) -> dict:
-        pack_run(arrays, "run", self.run)
-        pack_memtable(arrays, "mem.c0", self._memtable)
-        return {}
-
-    def _restore_state(self, state: dict, arrays) -> None:
-        self.run = unpack_run(arrays, "run")
-        self._memtable = unpack_memtable(
-            arrays, "mem.c0", self.config.memory_budget, "C0"
-        )
-
-    def _sorted_table_groups(self):
-        return [("run", list(self.run.tables))]
+    @property
+    def run(self) -> Run:
+        """The single on-disk leveled run."""
+        return self.compaction.run

@@ -25,16 +25,11 @@ from ..core.analyzer import DelayAnalyzer
 from ..core.tuning import SEPARATION, PolicyDecision
 from ..errors import EngineError, RecoveryError
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
-from .base import Snapshot
+from .base import Snapshot, _engine_registry
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
 
 __all__ = ["SeriesState", "FleetReport", "TimeSeriesDatabase"]
-
-_SERIES_ENGINES = {
-    "ConventionalEngine": ConventionalEngine,
-    "SeparationEngine": SeparationEngine,
-}
 
 
 def _series_file_stem(name: str) -> str:
@@ -393,7 +388,7 @@ class TimeSeriesDatabase:
             durability_dir=durability_dir,
         )
         for name, entry in manifest["series"].items():
-            engine_cls = _SERIES_ENGINES.get(entry["engine"])
+            engine_cls = _engine_registry().get(entry["engine"])
             if engine_cls is None:
                 raise RecoveryError(
                     f"series {name!r}: unknown engine {entry['engine']!r}"

@@ -9,46 +9,29 @@ them to new SSTables on level 2 in the background.  Therefore, on level
 wait for compaction."
 
 This engine reproduces that structure for the throughput (Table III) and
-query (Figures 12--15, 20) experiments: flushes land as possibly
-overlapping level-1 files; a simulated background thread periodically
-merges level 1 into the sorted level-2 run; wall-clock cost is tracked
-separately for the foreground (inserts + flush writes) and the background
-(compaction writes) using a :class:`~repro.config.DiskModel`.
+query (Figures 12--15, 20) experiments.  As a composition: the
+``policy=`` selector picks ``single`` + ``append`` (conventional) or
+``split`` + ``independent`` (separation) over the shared ``iotdb``
+two-space compaction, which owns the L1/L2 layout and the
+foreground/background :class:`~repro.config.DiskModel` cost accounting.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
-
-import numpy as np
-
 from ..config import DEFAULT_DISK_MODEL, DiskModel, LsmConfig
 from ..errors import EngineError
-from .base import LsmEngine, MemTableView, Snapshot
-from .checkpoint import (
-    pack_memtable,
-    pack_run,
-    pack_tables,
-    unpack_memtable,
-    unpack_run,
-    unpack_tables,
-)
-from .compaction import merge_tables_with_batch
 from .level import Run
-from .memtable import MemTable
-from .points import sort_by_generation
-from .sstable import SSTable, build_sstables
-from .wa_tracker import CompactionEvent, WriteStats
+from .policies.compaction import IoTDBTwoSpace
+from .policies.flush import AppendFlush, IndependentFlush
+from .policies.kernel import StorageKernel
+from .policies.placement import SinglePlacement, SplitPlacement
+from .sstable import SSTable
+from .wa_tracker import WriteStats
 
 __all__ = ["IoTDBStyleEngine"]
 
-#: Fixed cost charged to the foreground for initiating one flush (fsync,
-#: file creation) — identical for both policies.
-_FLUSH_SYNC_MS = 0.2
 
-
-class IoTDBStyleEngine(LsmEngine):
+class IoTDBStyleEngine(StorageKernel):
     """Two-level engine: overlapping L1 flush files, compacted L2 run."""
 
     def __init__(
@@ -61,152 +44,57 @@ class IoTDBStyleEngine(LsmEngine):
         telemetry=None,
         faults=None,
     ) -> None:
-        super().__init__(
-            config if config is not None else LsmConfig(),
-            stats,
-            telemetry=telemetry,
-            faults=faults,
-        )
         if policy not in ("conventional", "separation"):
             raise EngineError(
                 f"policy must be 'conventional' or 'separation', got {policy!r}"
             )
-        if l1_file_limit < 1:
-            raise EngineError(f"l1_file_limit must be >= 1, got {l1_file_limit}")
         self.policy = policy
         self.policy_name = "pi_c" if policy == "conventional" else "pi_s"
-        self.l1_file_limit = l1_file_limit
-        self.disk = disk
-        self.l1_files: list[SSTable] = []
-        self.l2 = Run()
-        self._max_disk_tg = -math.inf
-        #: Simulated time the writing client spends (inserts + flush writes).
-        self.foreground_ms = 0.0
-        #: Simulated time the background compaction thread spends.
-        self.background_ms = 0.0
         if policy == "conventional":
-            self._memtable = MemTable(self.config.memory_budget, name="C0")
-            self._seq = None
-            self._nonseq = None
+            placement, flush = SinglePlacement(), AppendFlush()
         else:
-            self._memtable = None
-            self._seq = MemTable(self.config.effective_seq_capacity, name="C_seq")
-            self._nonseq = MemTable(self.config.nonseq_capacity, name="C_nonseq")
-
-    # -- ingestion -------------------------------------------------------------
-
-    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        self.foreground_ms += tg.size * self.disk.insert_point_ms
-        if self.policy == "conventional":
-            self._ingest_conventional(tg, ids)
-        else:
-            self._ingest_separation(tg, ids)
-
-    def _ingest_conventional(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        pos = 0
-        total = tg.size
-        while pos < total:
-            take = min(self._memtable.room, total - pos)
-            self._memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
-            pos += take
-            self._arrival_cursor = int(ids[pos - 1]) + 1
-            if self._memtable.full:
-                self._flush(self._memtable)
-
-    def _ingest_separation(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        pos = 0
-        total = tg.size
-        while pos < total:
-            chunk = tg[pos:]
-            is_seq = chunk > self._max_disk_tg
-            cum_seq = np.cumsum(is_seq)
-            cum_nonseq = np.arange(1, chunk.size + 1) - cum_seq
-            fill_seq = int(np.searchsorted(cum_seq, self._seq.room, side="left"))
-            fill_nonseq = int(
-                np.searchsorted(cum_nonseq, self._nonseq.room, side="left")
-            )
-            take = min(min(fill_seq, fill_nonseq) + 1, chunk.size)
-            seq_mask = is_seq[:take]
-            sub_ids = ids[pos : pos + take]
-            self._seq.extend(chunk[:take][seq_mask], sub_ids[seq_mask])
-            self._nonseq.extend(chunk[:take][~seq_mask], sub_ids[~seq_mask])
-            pos += take
-            self._arrival_cursor = int(sub_ids[-1]) + 1
-            if self._seq.full:
-                self._flush(self._seq)
-            if self._nonseq.full:
-                self._flush(self._nonseq)
-
-    def _flush_buffers(self) -> None:
-        for table in (self._memtable, self._seq, self._nonseq):
-            if table is not None and not table.empty:
-                self._flush(table)
-
-    # -- flush & background compaction -------------------------------------------
-
-    def _flush(self, memtable: MemTable) -> None:
-        """Write one MemTable as a level-1 file (no merge, may overlap)."""
-        tg, ids = memtable.sorted_view()
-        self._fault_boundary("flush")
-        with self.telemetry.span(
-            "flush", engine=self.policy_name, memtable=memtable.name
-        ) as span:
-            table = SSTable(tg=tg, ids=ids)
-            self.l1_files.append(table)
-            memtable.clear()
-            self._max_disk_tg = max(self._max_disk_tg, table.max_tg)
-            self.foreground_ms += _FLUSH_SYNC_MS + self.disk.write_cost_ms(len(table))
-            span.set(new_points=int(tg.size), tables_written=1)
-            self.stats.record_written(ids)
-        self.stats.record_event(
-            CompactionEvent(
-                kind="flush",
-                arrival_index=self.processed_points,
-                new_points=int(tg.size),
-                rewritten_points=0,
-                tables_rewritten=0,
-                tables_written=1,
-            )
+            placement, flush = SplitPlacement(), IndependentFlush()
+        super().__init__(
+            config,
+            placement=placement,
+            flush=flush,
+            compaction=IoTDBTwoSpace(l1_file_limit=l1_file_limit, disk=disk),
+            stats=stats,
+            telemetry=telemetry,
+            faults=faults,
         )
-        if len(self.l1_files) >= self.l1_file_limit:
-            self._compact_l1()
 
-    def _compact_l1(self) -> None:
-        """Background thread: merge every L1 file into the L2 run."""
-        files = self.l1_files
-        tg = np.concatenate([f.tg for f in files])
-        ids = np.concatenate([f.ids for f in files])
-        tg, ids = sort_by_generation(tg, ids)
-        lo, hi = float(tg[0]), float(tg[-1])
-        region = self.l2.overlap_slice(lo, hi)
-        victims = self.l2.tables[region]
-        self._fault_boundary("merge")
-        with self.telemetry.span(
-            "merge", engine=self.policy_name, level="L1->L2"
-        ) as span:
-            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-            self.l2.replace(region, new_tables)
-            self.l1_files = []
-            self.background_ms += self.disk.write_cost_ms(
-                merged_ids.size
-            ) + self.disk.read_cost_ms(len(files) + len(victims), merged_ids.size)
-            span.set(
-                rewritten_points=int(merged_ids.size),
-                tables_rewritten=len(files) + len(victims),
-                tables_written=len(new_tables),
-            )
-            self.stats.record_written(merged_ids)
-        self.stats.record_event(
-            CompactionEvent(
-                kind="merge",
-                arrival_index=self.processed_points,
-                new_points=0,
-                rewritten_points=int(merged_ids.size),
-                tables_rewritten=len(files) + len(victims),
-                tables_written=len(new_tables),
-            )
-        )
+    # -- structure views -------------------------------------------------------
+
+    @property
+    def l1_file_limit(self) -> int:
+        """L1 file count that triggers the background compaction."""
+        return self.compaction.l1_file_limit
+
+    @property
+    def disk(self) -> DiskModel:
+        """The simulated disk cost model."""
+        return self.compaction.disk
+
+    @property
+    def l1_files(self) -> list[SSTable]:
+        """The loose (possibly overlapping) level-1 flush files."""
+        return self.compaction.l1_files
+
+    @property
+    def l2(self) -> Run:
+        """The compacted, non-overlapping level-2 run."""
+        return self.compaction.l2
+
+    @property
+    def foreground_ms(self) -> float:
+        """Simulated time the writing client spends (inserts + flushes)."""
+        return self.compaction.foreground_ms
+
+    @property
+    def background_ms(self) -> float:
+        """Simulated time the background compaction thread spends."""
+        return self.compaction.background_ms
 
     # -- metrics ---------------------------------------------------------------
 
@@ -222,28 +110,12 @@ class IoTDBStyleEngine(LsmEngine):
             return float("nan")
         return self.ingested_points / self.foreground_ms
 
-    def snapshot(self) -> Snapshot:
-        tables = list(self.l1_files) + list(self.l2.tables)
-        views = []
-        for memtable in (self._memtable, self._seq, self._nonseq):
-            if memtable is not None and not memtable.empty:
-                views.append(
-                    MemTableView(
-                        name=memtable.name,
-                        tg=memtable.peek_tg(),
-                        ids=memtable.peek_ids(),
-                    )
-                )
-        return Snapshot(tables=tables, memtables=views)
-
     # -- durability hooks ------------------------------------------------------
 
     def _checkpoint_kwargs(self) -> dict:
-        return {
-            "policy": self.policy,
-            "l1_file_limit": self.l1_file_limit,
-            "disk": dataclasses.asdict(self.disk),
-        }
+        kwargs = {"policy": self.policy}
+        kwargs.update(self.compaction.checkpoint_kwargs())
+        return kwargs
 
     @classmethod
     def _decode_kwargs(cls, kwargs: dict) -> dict:
@@ -251,44 +123,3 @@ class IoTDBStyleEngine(LsmEngine):
         if isinstance(decoded.get("disk"), dict):
             decoded["disk"] = DiskModel(**decoded["disk"])
         return decoded
-
-    def _checkpoint_state(self, arrays) -> dict:
-        pack_tables(arrays, "l1", self.l1_files)
-        pack_run(arrays, "l2", self.l2)
-        state = {
-            "max_disk_tg": self._max_disk_tg,
-            "foreground_ms": self.foreground_ms,
-            "background_ms": self.background_ms,
-        }
-        for memtable, prefix in (
-            (self._memtable, "mem.c0"),
-            (self._seq, "mem.seq"),
-            (self._nonseq, "mem.nonseq"),
-        ):
-            if memtable is not None:
-                pack_memtable(arrays, prefix, memtable)
-        return state
-
-    def _restore_state(self, state: dict, arrays) -> None:
-        self.l1_files = unpack_tables(arrays, "l1")
-        self.l2 = unpack_run(arrays, "l2")
-        self._max_disk_tg = float(state["max_disk_tg"])
-        self.foreground_ms = float(state["foreground_ms"])
-        self.background_ms = float(state["background_ms"])
-        if self.policy == "conventional":
-            self._memtable = unpack_memtable(
-                arrays, "mem.c0", self.config.memory_budget, "C0"
-            )
-        else:
-            self._seq = unpack_memtable(
-                arrays, "mem.seq", self.config.effective_seq_capacity, "C_seq"
-            )
-            self._nonseq = unpack_memtable(
-                arrays, "mem.nonseq", self.config.nonseq_capacity, "C_nonseq"
-            )
-
-    def _sorted_table_groups(self):
-        return [("l2", list(self.l2.tables))]
-
-    def _loose_tables(self):
-        return list(self.l1_files)

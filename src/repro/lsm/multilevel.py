@@ -6,26 +6,25 @@ Carey's survey).  This engine implements that textbook shape — level
 ``i`` holds up to ``n * T**i`` points and spills into level ``i+1`` when
 full — so the ablation benchmarks can show why the general bound "is not
 acute enough to detect the difference between pi_c and pi_s".
+
+As a composition: ``single`` placement, ``merge`` flush, ``multilevel``
+cascade compaction.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..config import LsmConfig
-from ..errors import EngineError
-from .base import LsmEngine, MemTableView, Snapshot
-from .checkpoint import pack_memtable, pack_run, unpack_memtable, unpack_run
-from .compaction import merge_tables_with_batch
 from .level import Run
-from .memtable import MemTable
-from .sstable import build_sstables
-from .wa_tracker import CompactionEvent, WriteStats
+from .policies.compaction import MultiLevelCascade
+from .policies.flush import MergeFlush
+from .policies.kernel import StorageKernel
+from .policies.placement import SinglePlacement
+from .wa_tracker import WriteStats
 
 __all__ = ["MultiLevelEngine"]
 
 
-class MultiLevelEngine(LsmEngine):
+class MultiLevelEngine(StorageKernel):
     """Leveled LSM with ``max_levels`` levels and capacity ratio ``T``."""
 
     policy_name = "leveled_T"
@@ -40,149 +39,35 @@ class MultiLevelEngine(LsmEngine):
         faults=None,
     ) -> None:
         super().__init__(
-            config if config is not None else LsmConfig(),
-            stats,
+            config,
+            placement=SinglePlacement(),
+            flush=MergeFlush(),
+            compaction=MultiLevelCascade(
+                size_ratio=size_ratio, max_levels=max_levels
+            ),
+            stats=stats,
             telemetry=telemetry,
             faults=faults,
         )
-        if size_ratio < 2:
-            raise EngineError(f"size_ratio must be >= 2, got {size_ratio}")
-        if max_levels < 1:
-            raise EngineError(f"max_levels must be >= 1, got {max_levels}")
-        self.size_ratio = size_ratio
-        self.max_levels = max_levels
-        self.levels: list[Run] = [Run() for _ in range(max_levels)]
-        self._memtable = MemTable(self.config.memory_budget, name="C0")
+
+    @property
+    def size_ratio(self) -> int:
+        """Capacity ratio ``T`` between adjacent levels."""
+        return self.compaction.size_ratio
+
+    @property
+    def max_levels(self) -> int:
+        """Number of on-disk levels."""
+        return self.compaction.max_levels
+
+    @property
+    def levels(self) -> list[Run]:
+        """The on-disk runs, one per level."""
+        return self.compaction.levels
 
     def level_capacity(self, level: int) -> int:
         """Maximum points level ``level`` may hold before spilling."""
-        return self.config.memory_budget * self.size_ratio ** (level + 1)
-
-    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        pos = 0
-        total = tg.size
-        while pos < total:
-            take = min(self._memtable.room, total - pos)
-            self._memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
-            pos += take
-            self._arrival_cursor = int(ids[pos - 1]) + 1
-            if self._memtable.full:
-                self._flush_into_level(0)
-                self._cascade()
-
-    def _flush_buffers(self) -> None:
-        if not self._memtable.empty:
-            self._flush_into_level(0)
-            self._cascade()
-
-    def _flush_into_level(self, level: int) -> None:
-        mem_tg, mem_ids = self._memtable.sorted_view()
-        self._merge_batch_into_level(
-            level,
-            mem_tg,
-            mem_ids,
-            new_points=mem_tg.size,
-            source_memtable=self._memtable,
-        )
-
-    def _cascade(self) -> None:
-        """Spill each over-capacity level into the next."""
-        for level in range(self.max_levels - 1):
-            run = self.levels[level]
-            if run.total_points <= self.level_capacity(level):
-                continue
-            tables = run.tables
-            if not tables:
-                continue
-            tg = np.concatenate([t.tg for t in tables])
-            ids = np.concatenate([t.ids for t in tables])
-            order = np.argsort(tg, kind="stable")
-            self._merge_batch_into_level(
-                level + 1, tg[order], ids[order], new_points=0, source_run=run
-            )
-
-    def _merge_batch_into_level(
-        self,
-        level: int,
-        tg: np.ndarray,
-        ids: np.ndarray,
-        new_points: int,
-        source_memtable: MemTable | None = None,
-        source_run: Run | None = None,
-    ) -> None:
-        """Merge a sorted batch into ``level``; clear the source on commit.
-
-        The batch is a *view* of its source (MemTable buffer or the run
-        one level up): the fault boundary fires after staging, and only
-        then does the target replace land and the source clear — so an
-        injected crash mutates nothing.
-        """
-        run = self.levels[level]
-        lo, hi = float(tg[0]), float(tg[-1])
-        region = run.overlap_slice(lo, hi)
-        victims = run.tables[region]
-        self._fault_boundary("merge" if victims or new_points == 0 else "flush")
-        with self.telemetry.span(
-            "compaction", engine=self.policy_name, level=level
-        ) as span:
-            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-            run.replace(region, new_tables)
-            if source_memtable is not None:
-                source_memtable.clear()
-            if source_run is not None:
-                source_run.clear()
-            span.rename("merge" if victims or new_points == 0 else "flush")
-            span.set(
-                new_points=int(new_points),
-                rewritten_points=int(merged_ids.size - new_points),
-                tables_rewritten=len(victims),
-                tables_written=len(new_tables),
-            )
-            self.stats.record_written(merged_ids)
-        self.stats.record_event(
-            CompactionEvent(
-                kind="merge" if victims or new_points == 0 else "flush",
-                arrival_index=self.processed_points,
-                new_points=int(new_points),
-                rewritten_points=int(merged_ids.size - new_points),
-                tables_rewritten=len(victims),
-                tables_written=len(new_tables),
-            )
-        )
-
-    def snapshot(self) -> Snapshot:
-        tables = [t for run in self.levels for t in run.tables]
-        views = []
-        if not self._memtable.empty:
-            views.append(MemTableView(
-                name="C0",
-                tg=self._memtable.peek_tg(),
-                ids=self._memtable.peek_ids(),
-            ))
-        return Snapshot(tables=tables, memtables=views)
-
-    # -- durability hooks ------------------------------------------------------
+        return self.compaction.level_capacity(level)
 
     def _checkpoint_kwargs(self) -> dict:
         return {"size_ratio": self.size_ratio, "max_levels": self.max_levels}
-
-    def _checkpoint_state(self, arrays) -> dict:
-        for index, run in enumerate(self.levels):
-            pack_run(arrays, f"level{index}", run)
-        pack_memtable(arrays, "mem.c0", self._memtable)
-        return {}
-
-    def _restore_state(self, state: dict, arrays) -> None:
-        self.levels = [
-            unpack_run(arrays, f"level{index}") for index in range(self.max_levels)
-        ]
-        self._memtable = unpack_memtable(
-            arrays, "mem.c0", self.config.memory_budget, "C0"
-        )
-
-    def _sorted_table_groups(self):
-        return [
-            (f"level{index}", list(run.tables))
-            for index, run in enumerate(self.levels)
-        ]

@@ -1,0 +1,68 @@
+"""The composable policy kernel.
+
+An LSM engine in this codebase is a composition of three orthogonal
+policies driven by one :class:`~repro.lsm.policies.kernel.StorageKernel`:
+
+* a :class:`~repro.lsm.policies.placement.PlacementPolicy` decides which
+  MemTable buffers each arriving point (a single ``C0``, or the paper's
+  seq/nonseq split keyed on the ``LAST(R).t_g`` watermark);
+* a :class:`~repro.lsm.policies.flush.FlushStrategy` decides *when* and
+  in *what order* full MemTables move to disk (overlap-merge on full,
+  append, or the separation protocol's phase-closing drain);
+* a :class:`~repro.lsm.policies.compaction.CompactionPolicy` owns the
+  on-disk structure and how a flushed batch lands in it (single leveled
+  run, multilevel cascade, size-tiered runs, IoTDB's two-space layout).
+
+The kernel itself (via :class:`~repro.lsm.base.LsmEngine`) owns the
+cross-cutting machinery every composition shares: WAL framing, the hot
+ingest loop's id assignment and accounting, fault boundaries, telemetry
+spans, and component-wise checkpoint assembly.
+
+:func:`~repro.lsm.policies.compose.compose_engine` builds novel
+combinations by name; the six first-class engines are thin declarative
+compositions of the same parts.
+"""
+
+from .compaction import (
+    CompactionPolicy,
+    IoTDBTwoSpace,
+    LeveledSingleRun,
+    MultiLevelCascade,
+    SizeTiered,
+)
+from .compose import (
+    COMPACTIONS,
+    FLUSHES,
+    PLACEMENTS,
+    ComposedEngine,
+    compose_engine,
+    describe_composition,
+    engine_compositions,
+)
+from .flush import AppendFlush, FlushStrategy, IndependentFlush, MergeFlush, SeparationFlush
+from .kernel import StorageKernel
+from .placement import PlacementPolicy, SinglePlacement, SplitPlacement
+
+__all__ = [
+    "StorageKernel",
+    "PlacementPolicy",
+    "SinglePlacement",
+    "SplitPlacement",
+    "FlushStrategy",
+    "MergeFlush",
+    "AppendFlush",
+    "SeparationFlush",
+    "IndependentFlush",
+    "CompactionPolicy",
+    "LeveledSingleRun",
+    "MultiLevelCascade",
+    "SizeTiered",
+    "IoTDBTwoSpace",
+    "ComposedEngine",
+    "compose_engine",
+    "engine_compositions",
+    "describe_composition",
+    "PLACEMENTS",
+    "FLUSHES",
+    "COMPACTIONS",
+]

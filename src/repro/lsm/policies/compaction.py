@@ -1,0 +1,628 @@
+"""Compaction policies: the on-disk structure and how batches land in it.
+
+Each policy owns the persistent state (runs, levels, files), exposes the
+``LAST(R).t_g`` watermark that drives seq/nonseq classification, and
+implements three landing operations invoked by the flush strategy:
+
+* ``compact_memtable`` — overlap-merge a MemTable into the structure
+  (``pi_c``'s leveled compaction);
+* ``flush_memtable`` — append a MemTable without rewriting anything
+  (``pi_s``'s ``C_seq`` flush, tiered/IoTDB level-0 landings);
+* ``merge_memtable`` — the separation protocol's phase-closing merge of
+  ``C_nonseq`` (defaults to ``compact_memtable``).
+
+Every operation is staged-then-committed: the batch is computed from
+MemTable *views*, the kernel's fault boundary fires, and only then does
+state mutate — an injected crash leaves the engine exactly as it was.
+All disk writes are accounted through the kernel's :class:`WriteStats`
+and timed with telemetry spans.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import logging
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...config import DEFAULT_DISK_MODEL, DiskModel
+from ...errors import EngineError
+from ..checkpoint import (
+    pack_run,
+    pack_tables,
+    unpack_run,
+    unpack_tables,
+)
+from ..compaction import (
+    concat_sorted_tables,
+    merge_tables_with_batch,
+    stage_overlap_merge,
+)
+from ..level import Run
+from ..memtable import MemTable
+from ..sstable import SSTable, build_sstables
+from ..wa_tracker import CompactionEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import StorageKernel
+
+__all__ = [
+    "CompactionPolicy",
+    "LeveledSingleRun",
+    "MultiLevelCascade",
+    "SizeTiered",
+    "IoTDBTwoSpace",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Fixed cost charged to the foreground for initiating one flush (fsync,
+#: file creation) — identical for both IoTDB policies.
+_FLUSH_SYNC_MS = 0.2
+
+
+class CompactionPolicy(abc.ABC):
+    """Owns the simulated disk state of one engine."""
+
+    #: Short label used by ``repro engines`` and composition tables.
+    name: str = "abstract"
+
+    def bind(self, kernel: "StorageKernel") -> None:
+        """Attach to the owning kernel (called once, from the kernel)."""
+        self.kernel = kernel
+
+    # -- ingest hooks ----------------------------------------------------------
+
+    def before_ingest(self, count: int) -> None:
+        """Observe ``count`` points entering the engine (cost models)."""
+
+    @abc.abstractmethod
+    def watermark(self) -> float:
+        """``LAST(R).t_g``: newest generation time persisted anywhere."""
+
+    # -- landing operations ----------------------------------------------------
+
+    @abc.abstractmethod
+    def compact_memtable(self, memtable: MemTable) -> None:
+        """Overlap-merge ``memtable`` into the structure (leveled)."""
+
+    def flush_memtable(self, memtable: MemTable) -> None:
+        """Append ``memtable`` without rewrites where the structure
+        supports it; defaults to a compaction."""
+        self.compact_memtable(memtable)
+
+    def merge_memtable(self, memtable: MemTable) -> None:
+        """Land the separation protocol's phase-closing ``C_nonseq``
+        merge; defaults to a compaction."""
+        self.compact_memtable(memtable)
+
+    # -- read views ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def visible_tables(self) -> list[SSTable]:
+        """Every persisted table, in snapshot order."""
+
+    def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        """Named table groups that must be sorted *and* non-overlapping."""
+        return []
+
+    def loose_tables(self) -> list[SSTable]:
+        """Tables that may overlap each other (internal sort still holds)."""
+        return []
+
+    # -- durability ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def pack(self, arrays: dict) -> dict:
+        """Serialise disk state into ``arrays``; return JSON-able meta."""
+
+    @abc.abstractmethod
+    def unpack(self, state: dict, arrays: dict) -> None:
+        """Rebuild disk state packed by :meth:`pack`."""
+
+
+class LeveledSingleRun(CompactionPolicy):
+    """One sorted, non-overlapping run — the paper's leveled L1.
+
+    Supports all three landing styles: ``pi_c``'s overlap-merge of
+    ``C0``, ``pi_s``'s pure append of ``C_seq`` and phase-closing merge
+    of ``C_nonseq``.
+    """
+
+    name = "leveled"
+
+    def __init__(self, run: Run | None = None) -> None:
+        self.run = run if run is not None else Run()
+
+    def watermark(self) -> float:
+        return self.run.max_tg
+
+    def compact_memtable(self, memtable: MemTable) -> None:
+        """Merge a MemTable into the run (``pi_c``'s compaction).
+
+        The span starts as ``compaction`` and is renamed once the real
+        kind (flush vs merge) is known from the staged overlap.
+        """
+        kernel = self.kernel
+        mem_tg, mem_ids = memtable.sorted_view()
+        region, victims, rewritten = stage_overlap_merge(self.run, mem_tg)
+        kernel._fault_boundary("merge" if victims else "flush")
+        with kernel.telemetry.span("compaction", engine=kernel.policy_name) as span:
+            merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
+            new_tables = build_sstables(
+                merged_tg, merged_ids, kernel.config.sstable_size
+            )
+            self.run.replace(region, new_tables)
+            memtable.clear()
+            span.rename("merge" if victims else "flush")
+            span.set(
+                new_points=int(mem_tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+            kernel.stats.record_written(merged_ids)
+        logger.debug(
+            "pi_c merge: %d new + %d rewritten points across %d tables "
+            "(arrival %d)",
+            mem_tg.size,
+            rewritten,
+            len(victims),
+            kernel.processed_points,
+        )
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="merge" if victims else "flush",
+                arrival_index=kernel.processed_points,
+                new_points=int(mem_tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+        )
+
+    def flush_memtable(self, memtable: MemTable) -> None:
+        """Append a seq MemTable to the run: pure flush, no rewrite."""
+        kernel = self.kernel
+        tg, ids = memtable.sorted_view()
+        kernel._fault_boundary("flush")
+        with kernel.telemetry.span(
+            "flush", engine=kernel.policy_name, memtable=memtable.name
+        ) as span:
+            tables = build_sstables(tg, ids, kernel.config.sstable_size)
+            self.run.append(tables)
+            memtable.clear()
+            span.set(new_points=int(tg.size), tables_written=len(tables))
+            kernel.stats.record_written(ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="flush",
+                arrival_index=kernel.processed_points,
+                new_points=int(tg.size),
+                rewritten_points=0,
+                tables_rewritten=0,
+                tables_written=len(tables),
+            )
+        )
+
+    def merge_memtable(self, memtable: MemTable) -> None:
+        """Close the phase: merge ``C_nonseq`` into its overlap region.
+
+        All its points satisfy ``t_g < LAST(R).t_g`` (they were
+        out-of-order at insertion and the disk maximum only grows), so
+        the freshly flushed seq tables sit strictly above the merge
+        range and are never rewritten here.
+        """
+        kernel = self.kernel
+        tg, ids = memtable.sorted_view()
+        region, victims, rewritten = stage_overlap_merge(self.run, tg)
+        kernel._fault_boundary("merge")
+        with kernel.telemetry.span(
+            "merge", engine=kernel.policy_name, memtable=memtable.name
+        ) as span:
+            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+            new_tables = build_sstables(
+                merged_tg, merged_ids, kernel.config.sstable_size
+            )
+            self.run.replace(region, new_tables)
+            memtable.clear()
+            span.set(
+                new_points=int(tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+            kernel.stats.record_written(merged_ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="merge",
+                arrival_index=kernel.processed_points,
+                new_points=int(tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+        )
+
+    def visible_tables(self) -> list[SSTable]:
+        return list(self.run.tables)
+
+    def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return [("run", list(self.run.tables))]
+
+    def pack(self, arrays: dict) -> dict:
+        pack_run(arrays, "run", self.run)
+        return {}
+
+    def unpack(self, state: dict, arrays: dict) -> None:
+        self.run = unpack_run(arrays, "run")
+
+
+class MultiLevelCascade(CompactionPolicy):
+    """Textbook leveled LSM: ``max_levels`` runs with size ratio ``T``."""
+
+    name = "multilevel"
+
+    def __init__(self, size_ratio: int = 10, max_levels: int = 6) -> None:
+        if size_ratio < 2:
+            raise EngineError(f"size_ratio must be >= 2, got {size_ratio}")
+        if max_levels < 1:
+            raise EngineError(f"max_levels must be >= 1, got {max_levels}")
+        self.size_ratio = size_ratio
+        self.max_levels = max_levels
+        self.levels: list[Run] = [Run() for _ in range(max_levels)]
+
+    def level_capacity(self, level: int) -> int:
+        """Maximum points level ``level`` may hold before spilling."""
+        return self.kernel.config.memory_budget * self.size_ratio ** (level + 1)
+
+    def watermark(self) -> float:
+        return max((run.max_tg for run in self.levels), default=-math.inf)
+
+    def compact_memtable(self, memtable: MemTable) -> None:
+        mem_tg, mem_ids = memtable.sorted_view()
+        self._merge_batch_into_level(
+            0, mem_tg, mem_ids, new_points=mem_tg.size, source_memtable=memtable
+        )
+        self._cascade()
+
+    def _cascade(self) -> None:
+        """Spill each over-capacity level into the next."""
+        for level in range(self.max_levels - 1):
+            run = self.levels[level]
+            if run.total_points <= self.level_capacity(level):
+                continue
+            if not run.tables:
+                continue
+            tg, ids = concat_sorted_tables(run.tables)
+            self._merge_batch_into_level(
+                level + 1, tg, ids, new_points=0, source_run=run
+            )
+
+    def _merge_batch_into_level(
+        self,
+        level: int,
+        tg: np.ndarray,
+        ids: np.ndarray,
+        new_points: int,
+        source_memtable: MemTable | None = None,
+        source_run: Run | None = None,
+    ) -> None:
+        """Merge a sorted batch into ``level``; clear the source on commit."""
+        kernel = self.kernel
+        run = self.levels[level]
+        region, victims, _ = stage_overlap_merge(run, tg)
+        kind = "merge" if victims or new_points == 0 else "flush"
+        kernel._fault_boundary(kind)
+        with kernel.telemetry.span(
+            "compaction", engine=kernel.policy_name, level=level
+        ) as span:
+            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+            new_tables = build_sstables(
+                merged_tg, merged_ids, kernel.config.sstable_size
+            )
+            run.replace(region, new_tables)
+            if source_memtable is not None:
+                source_memtable.clear()
+            if source_run is not None:
+                source_run.clear()
+            span.rename(kind)
+            span.set(
+                new_points=int(new_points),
+                rewritten_points=int(merged_ids.size - new_points),
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+            kernel.stats.record_written(merged_ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind=kind,
+                arrival_index=kernel.processed_points,
+                new_points=int(new_points),
+                rewritten_points=int(merged_ids.size - new_points),
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+        )
+
+    def visible_tables(self) -> list[SSTable]:
+        return [t for run in self.levels for t in run.tables]
+
+    def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return [
+            (f"level{index}", list(run.tables))
+            for index, run in enumerate(self.levels)
+        ]
+
+    def pack(self, arrays: dict) -> dict:
+        for index, run in enumerate(self.levels):
+            pack_run(arrays, f"level{index}", run)
+        return {}
+
+    def unpack(self, state: dict, arrays: dict) -> None:
+        self.levels = [
+            unpack_run(arrays, f"level{index}") for index in range(self.max_levels)
+        ]
+
+
+class SizeTiered(CompactionPolicy):
+    """Tiering: up to ``tier_fanout`` overlapping runs per level."""
+
+    name = "tiered"
+
+    def __init__(self, tier_fanout: int = 4, max_levels: int = 8) -> None:
+        if tier_fanout < 2:
+            raise EngineError(f"tier_fanout must be >= 2, got {tier_fanout}")
+        if max_levels < 1:
+            raise EngineError(f"max_levels must be >= 1, got {max_levels}")
+        self.tier_fanout = tier_fanout
+        self.max_levels = max_levels
+        #: ``levels[i]`` is a list of *runs*; each run is a list of
+        #: internally sorted, non-overlapping SSTables, but runs overlap
+        #: each other freely.
+        self.levels: list[list[list[SSTable]]] = [[] for _ in range(max_levels)]
+        self._max_disk_tg = -math.inf
+
+    def watermark(self) -> float:
+        return self._max_disk_tg
+
+    def compact_memtable(self, memtable: MemTable) -> None:
+        self.flush_memtable(memtable)
+
+    def flush_memtable(self, memtable: MemTable) -> None:
+        """Sort the MemTable into a new level-0 run (never a merge)."""
+        kernel = self.kernel
+        tg, ids = memtable.sorted_view()
+        kernel._fault_boundary("flush")
+        with kernel.telemetry.span("flush", engine=kernel.policy_name) as span:
+            run = build_sstables(tg, ids, kernel.config.sstable_size)
+            self.levels[0].append(run)
+            memtable.clear()
+            if run:
+                self._max_disk_tg = max(self._max_disk_tg, run[-1].max_tg)
+            span.set(new_points=int(tg.size), tables_written=len(run))
+            kernel.stats.record_written(ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="flush",
+                arrival_index=kernel.processed_points,
+                new_points=int(tg.size),
+                rewritten_points=0,
+                tables_rewritten=0,
+                tables_written=len(run),
+            )
+        )
+        self._maybe_merge_tier(0)
+
+    def _maybe_merge_tier(self, level: int) -> None:
+        """Merge a full tier of runs into one run on the next level."""
+        kernel = self.kernel
+        while (
+            level < self.max_levels - 1
+            and len(self.levels[level]) >= self.tier_fanout
+        ):
+            runs = self.levels[level]
+            tables = [table for run in runs for table in run]
+            tg, ids = concat_sorted_tables(tables)
+            kernel._fault_boundary("merge")
+            with kernel.telemetry.span(
+                "merge", engine=kernel.policy_name, level=level
+            ) as span:
+                merged = build_sstables(tg, ids, kernel.config.sstable_size)
+                self.levels[level] = []
+                self.levels[level + 1].append(merged)
+                span.set(
+                    rewritten_points=int(ids.size),
+                    tables_rewritten=len(tables),
+                    tables_written=len(merged),
+                )
+                kernel.stats.record_written(ids)
+            kernel.stats.record_event(
+                CompactionEvent(
+                    kind="merge",
+                    arrival_index=kernel.processed_points,
+                    new_points=0,
+                    rewritten_points=int(ids.size),
+                    tables_rewritten=len(tables),
+                    tables_written=len(merged),
+                )
+            )
+            level += 1
+
+    @property
+    def run_count(self) -> int:
+        """Total number of (mutually overlapping) runs across all levels."""
+        return sum(len(level) for level in self.levels)
+
+    def visible_tables(self) -> list[SSTable]:
+        return [
+            table
+            for level in self.levels
+            for run in level
+            for table in run
+        ]
+
+    def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return [
+            (f"level{li}.run{ri}", list(run))
+            for li, level in enumerate(self.levels)
+            for ri, run in enumerate(level)
+        ]
+
+    def pack(self, arrays: dict) -> dict:
+        for li, level in enumerate(self.levels):
+            for ri, run in enumerate(level):
+                pack_tables(arrays, f"level{li}.run{ri}", run)
+        return {"runs_per_level": [len(level) for level in self.levels]}
+
+    def unpack(self, state: dict, arrays: dict) -> None:
+        self.levels = [
+            [
+                unpack_tables(arrays, f"level{li}.run{ri}")
+                for ri in range(run_count)
+            ]
+            for li, run_count in enumerate(state["runs_per_level"])
+        ]
+        self._max_disk_tg = max(
+            (run[-1].max_tg for level in self.levels for run in level if run),
+            default=-math.inf,
+        )
+
+
+class IoTDBTwoSpace(CompactionPolicy):
+    """IoTDB's deployment shape: loose L1 flush files, compacted L2 run.
+
+    Flushes land as possibly overlapping level-1 files; a simulated
+    background thread merges level 1 into the sorted level-2 run once
+    ``l1_file_limit`` files accumulate.  Wall-clock cost is tracked
+    separately for the foreground (inserts + flush writes) and the
+    background (compaction writes) using a :class:`DiskModel`.
+    """
+
+    name = "iotdb"
+
+    def __init__(
+        self,
+        l1_file_limit: int = 10,
+        disk: DiskModel = DEFAULT_DISK_MODEL,
+    ) -> None:
+        if l1_file_limit < 1:
+            raise EngineError(f"l1_file_limit must be >= 1, got {l1_file_limit}")
+        self.l1_file_limit = l1_file_limit
+        self.disk = disk
+        self.l1_files: list[SSTable] = []
+        self.l2 = Run()
+        self._max_disk_tg = -math.inf
+        #: Simulated time the writing client spends (inserts + flush writes).
+        self.foreground_ms = 0.0
+        #: Simulated time the background compaction thread spends.
+        self.background_ms = 0.0
+
+    def before_ingest(self, count: int) -> None:
+        self.foreground_ms += count * self.disk.insert_point_ms
+
+    def watermark(self) -> float:
+        return self._max_disk_tg
+
+    def compact_memtable(self, memtable: MemTable) -> None:
+        self.flush_memtable(memtable)
+
+    def flush_memtable(self, memtable: MemTable) -> None:
+        """Write one MemTable as a level-1 file (no merge, may overlap)."""
+        kernel = self.kernel
+        tg, ids = memtable.sorted_view()
+        kernel._fault_boundary("flush")
+        with kernel.telemetry.span(
+            "flush", engine=kernel.policy_name, memtable=memtable.name
+        ) as span:
+            table = SSTable(tg=tg, ids=ids)
+            self.l1_files.append(table)
+            memtable.clear()
+            self._max_disk_tg = max(self._max_disk_tg, table.max_tg)
+            self.foreground_ms += _FLUSH_SYNC_MS + self.disk.write_cost_ms(len(table))
+            span.set(new_points=int(tg.size), tables_written=1)
+            kernel.stats.record_written(ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="flush",
+                arrival_index=kernel.processed_points,
+                new_points=int(tg.size),
+                rewritten_points=0,
+                tables_rewritten=0,
+                tables_written=1,
+            )
+        )
+        if len(self.l1_files) >= self.l1_file_limit:
+            self._compact_l1()
+
+    def _compact_l1(self) -> None:
+        """Background thread: merge every L1 file into the L2 run."""
+        kernel = self.kernel
+        files = self.l1_files
+        tg, ids = concat_sorted_tables(files)
+        region, victims, _ = stage_overlap_merge(self.l2, tg)
+        kernel._fault_boundary("merge")
+        with kernel.telemetry.span(
+            "merge", engine=kernel.policy_name, level="L1->L2"
+        ) as span:
+            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
+            new_tables = build_sstables(
+                merged_tg, merged_ids, kernel.config.sstable_size
+            )
+            self.l2.replace(region, new_tables)
+            self.l1_files = []
+            self.background_ms += self.disk.write_cost_ms(
+                merged_ids.size
+            ) + self.disk.read_cost_ms(len(files) + len(victims), merged_ids.size)
+            span.set(
+                rewritten_points=int(merged_ids.size),
+                tables_rewritten=len(files) + len(victims),
+                tables_written=len(new_tables),
+            )
+            kernel.stats.record_written(merged_ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="merge",
+                arrival_index=kernel.processed_points,
+                new_points=0,
+                rewritten_points=int(merged_ids.size),
+                tables_rewritten=len(files) + len(victims),
+                tables_written=len(new_tables),
+            )
+        )
+
+    def visible_tables(self) -> list[SSTable]:
+        return list(self.l1_files) + list(self.l2.tables)
+
+    def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return [("l2", list(self.l2.tables))]
+
+    def loose_tables(self) -> list[SSTable]:
+        return list(self.l1_files)
+
+    def pack(self, arrays: dict) -> dict:
+        pack_tables(arrays, "l1", self.l1_files)
+        pack_run(arrays, "l2", self.l2)
+        return {
+            "max_disk_tg": self._max_disk_tg,
+            "foreground_ms": self.foreground_ms,
+            "background_ms": self.background_ms,
+        }
+
+    def unpack(self, state: dict, arrays: dict) -> None:
+        self.l1_files = unpack_tables(arrays, "l1")
+        self.l2 = unpack_run(arrays, "l2")
+        self._max_disk_tg = float(state["max_disk_tg"])
+        self.foreground_ms = float(state["foreground_ms"])
+        self.background_ms = float(state["background_ms"])
+
+    def checkpoint_kwargs(self) -> dict:
+        """Constructor kwargs for checkpoint meta (engine classes add
+        their own placement selector)."""
+        return {
+            "l1_file_limit": self.l1_file_limit,
+            "disk": dataclasses.asdict(self.disk),
+        }

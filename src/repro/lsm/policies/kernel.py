@@ -1,0 +1,116 @@
+"""The storage kernel: one engine core driving three policies.
+
+:class:`StorageKernel` is the single concrete ingest/durability core
+behind every composed engine.  It inherits the cross-cutting machinery
+from :class:`~repro.lsm.base.LsmEngine` — WAL framing before MemTable
+placement, id assignment and write accounting, telemetry spans, fault
+boundaries, checkpoint metadata — and delegates the three policy axes:
+
+* ``placement`` buffers batches into MemTables,
+* ``flush`` decides when/how MemTables move to disk,
+* ``compaction`` owns the disk structure and the landing operations.
+
+Checkpoint state is assembled component-wise: the compaction policy and
+the placement policy each pack their own arrays under their established
+prefixes, so a composed engine's checkpoint is the union of its parts —
+and byte-layout-compatible with the monolithic engines it replaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import LsmConfig
+from ...faults.injector import FaultInjector
+from ...obs.telemetry import Telemetry
+from ..base import LsmEngine, MemTableView, Snapshot
+from ..sstable import SSTable
+from ..wa_tracker import WriteStats
+from .compaction import CompactionPolicy
+from .flush import FlushStrategy
+from .placement import PlacementPolicy
+
+__all__ = ["StorageKernel"]
+
+
+class StorageKernel(LsmEngine):
+    """Concrete LSM engine composed from three policies."""
+
+    def __init__(
+        self,
+        config: LsmConfig | None = None,
+        *,
+        placement: PlacementPolicy,
+        flush: FlushStrategy,
+        compaction: CompactionPolicy,
+        stats: WriteStats | None = None,
+        start_id: int = 0,
+        telemetry: Telemetry | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        super().__init__(
+            config if config is not None else LsmConfig(),
+            stats,
+            start_id,
+            telemetry=telemetry,
+            faults=faults,
+        )
+        self.placement = placement
+        self.flush = flush
+        self.compaction = compaction
+        # Policies see the kernel (config, stats, telemetry, fault
+        # boundary) through one back-reference each; binding order lets
+        # placement/flush read compaction state (the watermark) safely.
+        compaction.bind(self)
+        placement.bind(self)
+        flush.bind(self)
+
+    # -- hot path --------------------------------------------------------------
+
+    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        self.compaction.before_ingest(tg.size)
+        self.placement.ingest(tg, ids)
+
+    def _flush_buffers(self) -> None:
+        self.flush.drain()
+
+    # -- reading ---------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        views = [
+            MemTableView(
+                name=memtable.name,
+                tg=memtable.peek_tg(),
+                ids=memtable.peek_ids(),
+            )
+            for memtable in self.placement.memtables()
+            if not memtable.empty
+        ]
+        return Snapshot(tables=self.compaction.visible_tables(), memtables=views)
+
+    def describe_policies(self) -> dict[str, str]:
+        """The composition as labels (for ``repro engines`` and docs)."""
+        return {
+            "placement": self.placement.name,
+            "flush": self.flush.name,
+            "compaction": self.compaction.name,
+        }
+
+    # -- durability hooks ------------------------------------------------------
+
+    def _checkpoint_state(self, arrays: dict[str, np.ndarray]) -> dict:
+        state = self.compaction.pack(arrays)
+        self.placement.pack(arrays)
+        return state
+
+    def _restore_state(self, state: dict, arrays: dict[str, np.ndarray]) -> None:
+        self.compaction.unpack(state, arrays)
+        self.placement.unpack(arrays)
+
+    # -- invariants ------------------------------------------------------------
+
+    def _sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return self.compaction.sorted_table_groups()
+
+    def _loose_tables(self) -> list[SSTable]:
+        return self.compaction.loose_tables()

@@ -1,0 +1,159 @@
+"""Placement policies: which MemTable buffers each arriving point.
+
+The paper's two memory layouts (Section I / Definition 3):
+
+* ``pi_c`` keeps one MemTable ``C0`` — :class:`SinglePlacement`;
+* ``pi_s`` splits memory into ``C_seq`` / ``C_nonseq`` and classifies a
+  point as in-order iff its generation time exceeds ``LAST(R).t_g``, the
+  newest generation time on disk — :class:`SplitPlacement`.  The
+  watermark is supplied by the compaction policy (it owns the disk
+  state), so the split composes with any on-disk layout.
+
+Both run the engine's hot ingest loop: slice the validated batch at
+MemTable-filling events and hand control to the flush strategy after
+every slice.  Between two flushes the watermark is constant, so a whole
+remaining chunk classifies with one vectorised comparison.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..checkpoint import pack_memtable, unpack_memtable
+from ..memtable import MemTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import StorageKernel
+
+__all__ = ["PlacementPolicy", "SinglePlacement", "SplitPlacement"]
+
+
+class PlacementPolicy(abc.ABC):
+    """Routes validated, id-assigned batches into MemTables."""
+
+    #: Short label used by ``repro engines`` and composition tables.
+    name: str = "abstract"
+
+    def bind(self, kernel: "StorageKernel") -> None:
+        """Attach to the owning kernel (called once, from the kernel)."""
+        self.kernel = kernel
+
+    @abc.abstractmethod
+    def ingest(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        """Buffer a batch, invoking ``kernel.flush.on_memtable_full``
+        after every slice that may have filled a MemTable."""
+
+    @abc.abstractmethod
+    def memtables(self) -> list[MemTable]:
+        """Every MemTable, in drain/snapshot order."""
+
+    @abc.abstractmethod
+    def pack(self, arrays: dict) -> None:
+        """Serialise MemTable contents into checkpoint ``arrays``."""
+
+    @abc.abstractmethod
+    def unpack(self, arrays: dict) -> None:
+        """Rebuild MemTables from checkpoint ``arrays``."""
+
+
+class SinglePlacement(PlacementPolicy):
+    """One MemTable ``C0`` of ``memory_budget`` points (``pi_c``)."""
+
+    name = "single"
+
+    def bind(self, kernel: "StorageKernel") -> None:
+        super().bind(kernel)
+        self.memtable = MemTable(kernel.config.memory_budget, name="C0")
+
+    def ingest(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        kernel = self.kernel
+        memtable = self.memtable
+        on_full = kernel.flush.on_memtable_full
+        pos = 0
+        total = tg.size
+        while pos < total:
+            take = min(memtable.room, total - pos)
+            memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
+            pos += take
+            kernel._arrival_cursor = int(ids[pos - 1]) + 1
+            if memtable.full:
+                on_full()
+
+    def memtables(self) -> list[MemTable]:
+        return [self.memtable]
+
+    def pack(self, arrays: dict) -> None:
+        pack_memtable(arrays, "mem.c0", self.memtable)
+
+    def unpack(self, arrays: dict) -> None:
+        self.memtable = unpack_memtable(
+            arrays, "mem.c0", self.kernel.config.memory_budget, "C0"
+        )
+
+
+class SplitPlacement(PlacementPolicy):
+    """Seq/nonseq MemTable split keyed on ``LAST(R).t_g`` (``pi_s``)."""
+
+    name = "split"
+
+    def bind(self, kernel: "StorageKernel") -> None:
+        super().bind(kernel)
+        config = kernel.config
+        self.seq = MemTable(config.effective_seq_capacity, name="C_seq")
+        self.nonseq = MemTable(config.nonseq_capacity, name="C_nonseq")
+
+    def ingest(self, tg: np.ndarray, ids: np.ndarray) -> None:
+        kernel = self.kernel
+        seq = self.seq
+        nonseq = self.nonseq
+        watermark = kernel.compaction.watermark
+        on_full = kernel.flush.on_memtable_full
+        pos = 0
+        total = tg.size
+        while pos < total:
+            chunk = tg[pos:]
+            # The watermark is constant until the next flush/merge, so
+            # the whole remaining chunk classifies with one comparison.
+            is_seq = chunk > watermark()
+            if chunk.size < seq.room and chunk.size < nonseq.room:
+                # Even if every point lands in one MemTable it cannot
+                # fill, so skip the cumsum/searchsorted fill-event scan.
+                sub_ids = ids[pos:]
+                seq.extend(chunk[is_seq], sub_ids[is_seq])
+                nonseq.extend(chunk[~is_seq], sub_ids[~is_seq])
+                kernel._arrival_cursor = int(sub_ids[-1]) + 1
+                return
+            cum_seq = np.cumsum(is_seq)
+            cum_nonseq = np.arange(1, chunk.size + 1) - cum_seq
+            fill_seq = int(np.searchsorted(cum_seq, seq.room, side="left"))
+            fill_nonseq = int(
+                np.searchsorted(cum_nonseq, nonseq.room, side="left")
+            )
+            event = min(fill_seq, fill_nonseq)
+            take = min(event + 1, chunk.size)
+            seq_mask = is_seq[:take]
+            sub_ids = ids[pos : pos + take]
+            seq.extend(chunk[:take][seq_mask], sub_ids[seq_mask])
+            nonseq.extend(chunk[:take][~seq_mask], sub_ids[~seq_mask])
+            pos += take
+            kernel._arrival_cursor = int(sub_ids[-1]) + 1
+            on_full()
+
+    def memtables(self) -> list[MemTable]:
+        return [self.seq, self.nonseq]
+
+    def pack(self, arrays: dict) -> None:
+        pack_memtable(arrays, "mem.seq", self.seq)
+        pack_memtable(arrays, "mem.nonseq", self.nonseq)
+
+    def unpack(self, arrays: dict) -> None:
+        config = self.kernel.config
+        self.seq = unpack_memtable(
+            arrays, "mem.seq", config.effective_seq_capacity, "C_seq"
+        )
+        self.nonseq = unpack_memtable(
+            arrays, "mem.nonseq", config.nonseq_capacity, "C_nonseq"
+        )

@@ -8,28 +8,25 @@ its contents are all newer than anything on disk, so no rewrite happens —
 and only a full ``C_nonseq`` triggers a leveled merge, which closes a
 *phase* (Section IV).
 
-Classification is vectorised: between two flushes ``LAST(R).t_g`` is
-constant, so a whole arrival chunk can be classified with one comparison
-and sliced at the first buffer-filling event.
+As a composition: ``split`` placement (vectorised watermark
+classification), ``separation`` flush (append ``C_seq``, phase-closing
+``C_nonseq`` merge), ``leveled`` compaction.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..config import LsmConfig
-from .base import LsmEngine, MemTableView, Snapshot
-from .checkpoint import pack_memtable, pack_run, unpack_memtable, unpack_run
-from .compaction import merge_tables_with_batch
 from .level import Run
-from .memtable import MemTable
-from .sstable import build_sstables
-from .wa_tracker import CompactionEvent, WriteStats
+from .policies.compaction import LeveledSingleRun
+from .policies.flush import SeparationFlush
+from .policies.kernel import StorageKernel
+from .policies.placement import SplitPlacement
+from .wa_tracker import WriteStats
 
 __all__ = ["SeparationEngine"]
 
 
-class SeparationEngine(LsmEngine):
+class SeparationEngine(StorageKernel):
     """Leveled LSM engine under the separation policy ``pi_s(n_seq)``."""
 
     policy_name = "pi_s"
@@ -44,170 +41,39 @@ class SeparationEngine(LsmEngine):
         faults=None,
     ) -> None:
         super().__init__(
-            config if config is not None else LsmConfig(),
-            stats,
-            start_id,
+            config,
+            placement=SplitPlacement(),
+            flush=SeparationFlush(),
+            compaction=LeveledSingleRun(run),
+            stats=stats,
+            start_id=start_id,
             telemetry=telemetry,
             faults=faults,
         )
-        self.run = run if run is not None else Run()
-        self._seq = MemTable(self.config.effective_seq_capacity, name="C_seq")
-        self._nonseq = MemTable(self.config.nonseq_capacity, name="C_nonseq")
+
+    @property
+    def run(self) -> Run:
+        """The single on-disk leveled run."""
+        return self.compaction.run
 
     @property
     def seq_capacity(self) -> int:
         """``n_seq``, the in-order MemTable capacity."""
-        return self._seq.capacity
+        return self.placement.seq.capacity
 
     @property
     def nonseq_capacity(self) -> int:
         """``n_nonseq``, the out-of-order MemTable capacity."""
-        return self._nonseq.capacity
+        return self.placement.nonseq.capacity
 
     @property
     def last_disk_tg(self) -> float:
         """``LAST(R).t_g`` (``-inf`` until the first flush)."""
         return self.run.max_tg
 
-    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        pos = 0
-        total = tg.size
-        while pos < total:
-            chunk = tg[pos:]
-            # LAST(R).t_g is constant until the next flush/merge, so the
-            # whole remaining chunk classifies with one comparison.
-            is_seq = chunk > self.run.max_tg
-            if chunk.size < self._seq.room and chunk.size < self._nonseq.room:
-                # Even if every point lands in one MemTable it cannot
-                # fill, so skip the cumsum/searchsorted fill-event scan.
-                sub_ids = ids[pos:]
-                self._seq.extend(chunk[is_seq], sub_ids[is_seq])
-                self._nonseq.extend(chunk[~is_seq], sub_ids[~is_seq])
-                self._arrival_cursor = int(sub_ids[-1]) + 1
-                return
-            cum_seq = np.cumsum(is_seq)
-            cum_nonseq = np.arange(1, chunk.size + 1) - cum_seq
-            fill_seq = int(np.searchsorted(cum_seq, self._seq.room, side="left"))
-            fill_nonseq = int(
-                np.searchsorted(cum_nonseq, self._nonseq.room, side="left")
-            )
-            event = min(fill_seq, fill_nonseq)
-            take = min(event + 1, chunk.size)
-            seq_mask = is_seq[:take]
-            sub_ids = ids[pos : pos + take]
-            self._seq.extend(chunk[:take][seq_mask], sub_ids[seq_mask])
-            self._nonseq.extend(chunk[:take][~seq_mask], sub_ids[~seq_mask])
-            pos += take
-            self._arrival_cursor = int(sub_ids[-1]) + 1
-            if self._nonseq.full:
-                self._merge_nonseq()
-            elif self._seq.full:
-                self._flush_seq()
-
-    def _flush_buffers(self) -> None:
-        if not self._seq.empty:
-            self._flush_seq()
-        if not self._nonseq.empty:
-            self._merge_nonseq()
-
-    def _flush_seq(self) -> None:
-        """Append C_seq to the run: pure flush, nothing is rewritten."""
-        tg, ids = self._seq.sorted_view()
-        self._fault_boundary("flush")
-        with self.telemetry.span(
-            "flush", engine=self.policy_name, memtable="C_seq"
-        ) as span:
-            tables = build_sstables(tg, ids, self.config.sstable_size)
-            self.run.append(tables)
-            self._seq.clear()
-            span.set(new_points=int(tg.size), tables_written=len(tables))
-            self.stats.record_written(ids)
-        self.stats.record_event(
-            CompactionEvent(
-                kind="flush",
-                arrival_index=self.processed_points,
-                new_points=int(tg.size),
-                rewritten_points=0,
-                tables_rewritten=0,
-                tables_written=len(tables),
-            )
-        )
-
-    def _merge_nonseq(self) -> None:
-        """Close the phase: flush the partial C_seq, then merge C_nonseq.
-
-        All C_nonseq points satisfy ``t_g < LAST(R).t_g`` (they were
-        out-of-order at insertion and the disk maximum only grows), so
-        the freshly flushed C_seq tables sit strictly above the merge
-        range and are never rewritten here.
-        """
-        if not self._seq.empty:
-            self._flush_seq()
-        tg, ids = self._nonseq.sorted_view()
-        lo, hi = float(tg[0]), float(tg[-1])
-        region = self.run.overlap_slice(lo, hi)
-        victims = self.run.tables[region]
-        rewritten = self.run.points_in(region)
-        self._fault_boundary("merge")
-        with self.telemetry.span(
-            "merge", engine=self.policy_name, memtable="C_nonseq"
-        ) as span:
-            merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-            new_tables = build_sstables(merged_tg, merged_ids, self.config.sstable_size)
-            self.run.replace(region, new_tables)
-            self._nonseq.clear()
-            span.set(
-                new_points=int(tg.size),
-                rewritten_points=rewritten,
-                tables_rewritten=len(victims),
-                tables_written=len(new_tables),
-            )
-            self.stats.record_written(merged_ids)
-        self.stats.record_event(
-            CompactionEvent(
-                kind="merge",
-                arrival_index=self.processed_points,
-                new_points=int(tg.size),
-                rewritten_points=rewritten,
-                tables_rewritten=len(victims),
-                tables_written=len(new_tables),
-            )
-        )
-
-    def snapshot(self) -> Snapshot:
-        views = []
-        if not self._seq.empty:
-            views.append(MemTableView(
-                name="C_seq",
-                tg=self._seq.peek_tg(),
-                ids=self._seq.peek_ids(),
-            ))
-        if not self._nonseq.empty:
-            views.append(MemTableView(
-                name="C_nonseq",
-                tg=self._nonseq.peek_tg(),
-                ids=self._nonseq.peek_ids(),
-            ))
-        return Snapshot(tables=list(self.run.tables), memtables=views)
-
-    # -- durability hooks ------------------------------------------------------
-
     def _checkpoint_state(self, arrays) -> dict:
-        pack_run(arrays, "run", self.run)
-        pack_memtable(arrays, "mem.seq", self._seq)
-        pack_memtable(arrays, "mem.nonseq", self._nonseq)
+        state = super()._checkpoint_state(arrays)
         # The separation watermark LAST(R).t_g is implied by the restored
         # run's maximum, but stored for the recovery report / debugging.
-        return {"last_disk_tg": self.last_disk_tg}
-
-    def _restore_state(self, state: dict, arrays) -> None:
-        self.run = unpack_run(arrays, "run")
-        self._seq = unpack_memtable(
-            arrays, "mem.seq", self.config.effective_seq_capacity, "C_seq"
-        )
-        self._nonseq = unpack_memtable(
-            arrays, "mem.nonseq", self.config.nonseq_capacity, "C_nonseq"
-        )
-
-    def _sorted_table_groups(self):
-        return [("run", list(self.run.tables))]
+        state["last_disk_tg"] = self.last_disk_tg
+        return state

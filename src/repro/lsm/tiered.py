@@ -7,25 +7,25 @@ rewritten once per level instead of once per overlapping flush.  The
 paper's policies are both *leveling* variants; this engine provides the
 tiering end of the spectrum so the ablation benchmarks can place pi_c /
 pi_s on the read/write trade-off curve.
+
+As a composition: ``single`` placement, ``append`` flush, ``tiered``
+compaction.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..config import LsmConfig
-from ..errors import EngineError
-from .base import LsmEngine, MemTableView, Snapshot
-from .checkpoint import pack_memtable, pack_tables, unpack_memtable, unpack_tables
-from .memtable import MemTable
-from .points import sort_by_generation
-from .sstable import SSTable, build_sstables
-from .wa_tracker import CompactionEvent, WriteStats
+from .policies.compaction import SizeTiered
+from .policies.flush import AppendFlush
+from .policies.kernel import StorageKernel
+from .policies.placement import SinglePlacement
+from .sstable import SSTable
+from .wa_tracker import WriteStats
 
 __all__ = ["TieredEngine"]
 
 
-class TieredEngine(LsmEngine):
+class TieredEngine(StorageKernel):
     """Tiered LSM: up to ``tier_fanout`` overlapping runs per level."""
 
     policy_name = "tiered_T"
@@ -40,99 +40,29 @@ class TieredEngine(LsmEngine):
         faults=None,
     ) -> None:
         super().__init__(
-            config if config is not None else LsmConfig(),
-            stats,
+            config,
+            placement=SinglePlacement(),
+            flush=AppendFlush(),
+            compaction=SizeTiered(tier_fanout=tier_fanout, max_levels=max_levels),
+            stats=stats,
             telemetry=telemetry,
             faults=faults,
         )
-        if tier_fanout < 2:
-            raise EngineError(f"tier_fanout must be >= 2, got {tier_fanout}")
-        if max_levels < 1:
-            raise EngineError(f"max_levels must be >= 1, got {max_levels}")
-        self.tier_fanout = tier_fanout
-        self.max_levels = max_levels
-        #: ``levels[i]`` is a list of *runs*; each run is a list of
-        #: internally sorted, non-overlapping SSTables, but runs overlap
-        #: each other freely.
-        self.levels: list[list[list[SSTable]]] = [[] for _ in range(max_levels)]
-        self._memtable = MemTable(self.config.memory_budget, name="C0")
 
-    # -- ingestion ---------------------------------------------------------------
+    @property
+    def tier_fanout(self) -> int:
+        """Maximum runs a level may hold before its tier merges."""
+        return self.compaction.tier_fanout
 
-    def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
-        pos = 0
-        total = tg.size
-        while pos < total:
-            take = min(self._memtable.room, total - pos)
-            self._memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
-            pos += take
-            self._arrival_cursor = int(ids[pos - 1]) + 1
-            if self._memtable.full:
-                self._flush_memtable()
+    @property
+    def max_levels(self) -> int:
+        """Number of on-disk levels."""
+        return self.compaction.max_levels
 
-    def _flush_buffers(self) -> None:
-        if not self._memtable.empty:
-            self._flush_memtable()
-
-    def _flush_memtable(self) -> None:
-        """Sort the MemTable into a new level-0 run (never a merge)."""
-        tg, ids = self._memtable.sorted_view()
-        self._fault_boundary("flush")
-        with self.telemetry.span("flush", engine=self.policy_name) as span:
-            run = build_sstables(tg, ids, self.config.sstable_size)
-            self.levels[0].append(run)
-            self._memtable.clear()
-            span.set(new_points=int(tg.size), tables_written=len(run))
-            self.stats.record_written(ids)
-        self.stats.record_event(
-            CompactionEvent(
-                kind="flush",
-                arrival_index=self.processed_points,
-                new_points=int(tg.size),
-                rewritten_points=0,
-                tables_rewritten=0,
-                tables_written=len(run),
-            )
-        )
-        self._maybe_merge_tier(0)
-
-    def _maybe_merge_tier(self, level: int) -> None:
-        """Merge a full tier of runs into one run on the next level."""
-        while (
-            level < self.max_levels - 1
-            and len(self.levels[level]) >= self.tier_fanout
-        ):
-            runs = self.levels[level]
-            tables = [table for run in runs for table in run]
-            tg = np.concatenate([t.tg for t in tables])
-            ids = np.concatenate([t.ids for t in tables])
-            tg, ids = sort_by_generation(tg, ids)
-            self._fault_boundary("merge")
-            with self.telemetry.span(
-                "merge", engine=self.policy_name, level=level
-            ) as span:
-                merged = build_sstables(tg, ids, self.config.sstable_size)
-                self.levels[level] = []
-                self.levels[level + 1].append(merged)
-                span.set(
-                    rewritten_points=int(ids.size),
-                    tables_rewritten=len(tables),
-                    tables_written=len(merged),
-                )
-                self.stats.record_written(ids)
-            self.stats.record_event(
-                CompactionEvent(
-                    kind="merge",
-                    arrival_index=self.processed_points,
-                    new_points=0,
-                    rewritten_points=int(ids.size),
-                    tables_rewritten=len(tables),
-                    tables_written=len(merged),
-                )
-            )
-            level += 1
-
-    # -- views --------------------------------------------------------------------
+    @property
+    def levels(self) -> list[list[list[SSTable]]]:
+        """``levels[i]`` is a list of runs (lists of SSTables)."""
+        return self.compaction.levels
 
     @property
     def run_count(self) -> int:
@@ -141,51 +71,7 @@ class TieredEngine(LsmEngine):
         This is the read-cost driver: a point lookup or range scan must
         consult every run.
         """
-        return sum(len(level) for level in self.levels)
-
-    def snapshot(self) -> Snapshot:
-        tables = [
-            table
-            for level in self.levels
-            for run in level
-            for table in run
-        ]
-        views = []
-        if not self._memtable.empty:
-            views.append(MemTableView(
-                name="C0",
-                tg=self._memtable.peek_tg(),
-                ids=self._memtable.peek_ids(),
-            ))
-        return Snapshot(tables=tables, memtables=views)
-
-    # -- durability hooks ------------------------------------------------------
+        return self.compaction.run_count
 
     def _checkpoint_kwargs(self) -> dict:
         return {"tier_fanout": self.tier_fanout, "max_levels": self.max_levels}
-
-    def _checkpoint_state(self, arrays) -> dict:
-        for li, level in enumerate(self.levels):
-            for ri, run in enumerate(level):
-                pack_tables(arrays, f"level{li}.run{ri}", run)
-        pack_memtable(arrays, "mem.c0", self._memtable)
-        return {"runs_per_level": [len(level) for level in self.levels]}
-
-    def _restore_state(self, state: dict, arrays) -> None:
-        self.levels = [
-            [
-                unpack_tables(arrays, f"level{li}.run{ri}")
-                for ri in range(run_count)
-            ]
-            for li, run_count in enumerate(state["runs_per_level"])
-        ]
-        self._memtable = unpack_memtable(
-            arrays, "mem.c0", self.config.memory_budget, "C0"
-        )
-
-    def _sorted_table_groups(self):
-        return [
-            (f"level{li}.run{ri}", list(run))
-            for li, level in enumerate(self.levels)
-            for ri, run in enumerate(level)
-        ]

@@ -65,6 +65,34 @@ class TestTelemetryReport:
         assert excinfo.value.code == 2
 
 
+class TestEnginesSubcommand:
+    def test_lists_every_registered_engine(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "ConventionalEngine",
+            "SeparationEngine",
+            "IoTDBStyleEngine(policy=conventional)",
+            "IoTDBStyleEngine(policy=separation)",
+            "MultiLevelEngine",
+            "TieredEngine",
+            "AdaptiveEngine",
+            "ComposedEngine",
+        ):
+            assert name in out
+        # Policy-triple columns are present and populated.
+        for column in ("placement", "flush", "compaction"):
+            assert column in out
+        assert "single" in out and "split" in out
+        assert "separation" in out and "tiered" in out
+        assert "engine configurations registered" in out
+
+    def test_rejects_extra_arguments(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["engines", "--bogus"])
+        assert excinfo.value.code == 2
+
+
 class TestExitCodes:
     def test_unknown_flag_exits_2(self):
         with pytest.raises(SystemExit) as excinfo:

@@ -27,10 +27,8 @@ def _brute_force_zeta(dist, dt, n, points=120_000, seed=0):
     ta = tg + dist.sample(points, rng)
     order = np.lexsort((tg, ta))
     tg_sorted = tg[order]
-    prefix_sorted = np.sort(tg_sorted)  # for counting, rebuilt as needed
     counts = []
     positions = np.linspace(points // 2, points - n - 1, 60).astype(int)
-    running = np.sort(tg_sorted)
     for k in positions:
         disk = tg_sorted[:k]
         buffer_min = tg_sorted[k : k + n].min()

@@ -72,6 +72,9 @@ class TestPeriodicBatchDelay:
 
     def test_no_batches_means_no_disorder(self):
         dist = periodic_batch_delay(period=50_000.0, batch_weight=0.0)
+        # All mass at delay 0 -> arrival order is generation order, so
+        # no data point is ever subsequent to the buffered minimum.
+        assert zeta(dist, 1000.0, 128) == 0.0
 
     @pytest.mark.parametrize(
         "kwargs",

@@ -1,6 +1,5 @@
 """Fault-injection tests: plans, the injector, engine fault boundaries."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -5,13 +5,11 @@ its delays, run Algorithm 1, and verify the recommended policy really is
 the one with lower measured WA on the simulator.
 """
 
-import numpy as np
 import pytest
 
 from repro import (
     DelayAnalyzer,
     LogNormalDelay,
-    LsmConfig,
     UniformDelay,
 )
 from repro.core import CONVENTIONAL, SEPARATION

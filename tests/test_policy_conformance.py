@@ -1,0 +1,300 @@
+"""Engine conformance suite for the policy kernel.
+
+Three layers of guarantees:
+
+* **Golden fixture** — every first-class engine, driven over two Table II
+  workloads, reproduces bit-for-bit the write-amplification accounting,
+  event logs, telemetry totals and snapshot content recorded from the
+  pre-refactor monolithic implementations
+  (``tests/data/conformance_golden.json``).
+* **Roundtrip + crash recovery** — every registered engine *and* novel
+  ``compose_engine`` combinations survive checkpoint/restore with equal
+  WA and snapshots, and recover losslessly from an injected crash.
+* **Legacy checkpoints** — checkpoint files written by the pre-refactor
+  engines (``tests/data/legacy_checkpoints/``) still restore.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import LsmConfig
+from repro.errors import InjectedCrash
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.crashtest import CRASH_TEST_ENGINES, run_crash_case
+from repro.lsm.adaptive import AdaptiveEngine
+from repro.lsm.base import LsmEngine, _engine_registry
+from repro.lsm.policies import ComposedEngine, compose_engine
+from repro.lsm.recovery import recover_engine
+from repro.workloads import TABLE_II
+
+from tests.conformance_support import (
+    ENGINE_FACTORIES,
+    WORKLOADS,
+    load_fixture,
+    profile_engine,
+)
+
+LEGACY_DIR = os.path.join(
+    os.path.dirname(__file__), "data", "legacy_checkpoints"
+)
+
+#: Policy combinations no monolithic engine implements — the open end of
+#: the composition space, held to the same roundtrip/crash bar as the
+#: first-class engines.
+NOVEL_COMPOSITIONS = {
+    "tiered+separation": dict(
+        placement="split",
+        compaction="tiered",
+        compaction_kwargs={"tier_fanout": 3, "max_levels": 4},
+    ),
+    "multilevel+separation": dict(
+        placement="split",
+        compaction="multilevel",
+        compaction_kwargs={"size_ratio": 4, "max_levels": 4},
+    ),
+}
+
+
+def _dataset(n=3000, seed=9):
+    return TABLE_II["M8"].build(n_points=n, seed=seed)
+
+
+def _assert_same_state(left, right):
+    """Two engines hold bit-identical durable state and accounting."""
+    ls, rs = left.snapshot(), right.snapshot()
+    assert ls.total_points == rs.total_points
+    assert ls.disk_points == rs.disk_points
+    assert ls.memory_points == rs.memory_points
+    for attr in ("tg", "ids"):
+        l_disk = (
+            np.concatenate([getattr(t, attr) for t in ls.tables])
+            if ls.tables
+            else np.array([])
+        )
+        r_disk = (
+            np.concatenate([getattr(t, attr) for t in rs.tables])
+            if rs.tables
+            else np.array([])
+        )
+        np.testing.assert_array_equal(np.sort(l_disk), np.sort(r_disk))
+    assert left.ingested_points == right.ingested_points
+    assert left.stats.user_points == right.stats.user_points
+    assert left.stats.disk_writes == right.stats.disk_writes
+    np.testing.assert_array_equal(
+        left.stats.write_counts[: left.stats.user_points],
+        right.stats.write_counts[: right.stats.user_points],
+    )
+
+
+class TestRegistry:
+    def test_every_engine_class_is_registered(self):
+        names = set(_engine_registry())
+        assert names == {
+            "ConventionalEngine",
+            "SeparationEngine",
+            "IoTDBStyleEngine",
+            "MultiLevelEngine",
+            "TieredEngine",
+            "AdaptiveEngine",
+            "ComposedEngine",
+        }
+
+    def test_conformance_suite_covers_the_registry(self):
+        """No registered engine can dodge the golden fixture."""
+        covered = {
+            type(factory(None)).__name__
+            for factory in ENGINE_FACTORIES.values()
+        }
+        uncovered = set(_engine_registry()) - covered - {"ComposedEngine"}
+        assert not uncovered, f"engines missing a fixture profile: {uncovered}"
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("engine_key", sorted(ENGINE_FACTORIES))
+class TestGoldenFixture:
+    def test_profile_is_bit_identical(self, engine_key, workload):
+        expected = load_fixture()["profiles"][engine_key][workload]
+        actual = profile_engine(engine_key, workload)
+        assert set(actual) == set(expected)
+        for field in sorted(expected):
+            assert actual[field] == expected[field], (
+                f"{engine_key}/{workload}: {field} diverged from the "
+                f"pre-refactor recording"
+            )
+
+
+def _roundtrip_factories():
+    cases = {
+        key: (lambda cfg, f=factory: f(None))
+        for key, factory in ENGINE_FACTORIES.items()
+    }
+    for name, spec in NOVEL_COMPOSITIONS.items():
+        cases[name] = lambda cfg, s=spec: compose_engine(config=cfg, **s)
+    return cases
+
+
+ROUNDTRIP_FACTORIES = _roundtrip_factories()
+
+
+@pytest.mark.parametrize("key", sorted(ROUNDTRIP_FACTORIES))
+class TestCheckpointRoundtrip:
+    def test_restore_continues_bit_identically(self, key, tmp_path):
+        dataset = _dataset(3000, seed=9)
+        config = LsmConfig(memory_budget=64, sstable_size=32)
+        engine = ROUNDTRIP_FACTORIES[key](config)
+        restored_cls = type(engine)
+        adaptive = isinstance(engine, AdaptiveEngine)
+
+        def feed(target, lo, hi):
+            for pos in range(lo, hi, 700):
+                end = min(pos + 700, hi)
+                if adaptive:
+                    target.ingest(dataset.tg[pos:end], dataset.ta[pos:end])
+                else:
+                    target.ingest(dataset.tg[pos:end])
+
+        feed(engine, 0, 2100)
+        ckpt = str(tmp_path / "mid.ckpt")
+        engine.save_checkpoint(ckpt)
+        # By-name restore through the base class proves registry routing.
+        restored = LsmEngine.restore(ckpt)
+        assert isinstance(restored, restored_cls)
+        _assert_same_state(engine, restored)
+        feed(engine, 2100, 3000)
+        feed(restored, 2100, 3000)
+        engine.flush_all()
+        restored.flush_all()
+        _assert_same_state(engine, restored)
+        assert (
+            engine.stats.write_amplification
+            == restored.stats.write_amplification
+        )
+        restored.verify()
+
+
+@pytest.mark.parametrize("key", sorted(CRASH_TEST_ENGINES))
+class TestInjectedCrashRecovery:
+    def test_crash_at_flush_recovers_losslessly(self, key, tmp_path):
+        result = run_crash_case(key, "crash_flush", 0, str(tmp_path))
+        assert result.ok, result.describe()
+
+    def test_crash_at_merge_recovers_losslessly(self, key, tmp_path):
+        result = run_crash_case(key, "crash_merge", 0, str(tmp_path))
+        assert result.ok, result.describe()
+
+
+@pytest.mark.parametrize("name", sorted(NOVEL_COMPOSITIONS))
+class TestComposedCrashRecovery:
+    def test_injected_crash_then_wal_recovery(self, name, tmp_path):
+        spec = NOVEL_COMPOSITIONS[name]
+        dataset = _dataset(3000, seed=4)
+        wal_path = str(tmp_path / "composed.wal")
+        faults = FaultInjector(FaultPlan(seed=1, crash_at_flush=4))
+        engine = compose_engine(
+            config=LsmConfig(memory_budget=64, sstable_size=32, wal_path=wal_path),
+            faults=faults,
+            **spec,
+        )
+        crashed = False
+        for pos in range(0, 3000, 500):
+            try:
+                engine.ingest(dataset.tg[pos : pos + 500])
+            except InjectedCrash:
+                crashed = True
+                break
+        assert crashed, "the armed flush crash never fired"
+        engine.wal.close()
+
+        report = recover_engine(
+            ComposedEngine,
+            wal_path,
+            config=LsmConfig(memory_budget=64, sstable_size=32),
+            engine_kwargs=dict(spec),
+        )
+        assert report.verified
+        durable = report.durable_points
+        assert durable > 0
+
+        clean = compose_engine(
+            config=LsmConfig(memory_budget=64, sstable_size=32), **spec
+        )
+        for pos in range(0, durable, 500):
+            clean.ingest(dataset.tg[pos : min(pos + 500, durable)])
+        _assert_same_state(clean, report.engine)
+
+
+class TestAdaptiveRestore:
+    """The satellite bugfix: pi_adaptive is a first-class LsmEngine."""
+
+    def test_registered_and_restorable_by_name(self, tmp_path):
+        assert _engine_registry()["AdaptiveEngine"] is AdaptiveEngine
+        dataset = TABLE_II["M8"].build(n_points=6000, seed=3)
+        engine = AdaptiveEngine(
+            LsmConfig(memory_budget=64, sstable_size=32), check_interval=512
+        )
+        for pos in range(0, 6000, 937):
+            engine.ingest(
+                dataset.tg[pos : pos + 937], dataset.ta[pos : pos + 937]
+            )
+        assert engine.switch_log, "workload M8 must trigger a policy switch"
+        assert engine.current_policy.startswith("pi_s")
+
+        ckpt = str(tmp_path / "adaptive.ckpt")
+        engine.save_checkpoint(ckpt)
+        restored = LsmEngine.restore(ckpt)
+        assert isinstance(restored, AdaptiveEngine)
+        assert restored.current_policy == engine.current_policy
+        assert restored.switch_log == engine.switch_log
+        assert len(restored.decision_log) == len(engine.decision_log)
+        _assert_same_state(engine, restored)
+
+        tail = TABLE_II["M8"].build(n_points=6000, seed=3)
+        engine.ingest(tail.tg[:500] + 1e6, tail.ta[:500] + 1e6)
+        restored.ingest(tail.tg[:500] + 1e6, tail.ta[:500] + 1e6)
+        engine.flush_all()
+        restored.flush_all()
+        _assert_same_state(engine, restored)
+        restored.verify()
+
+
+class TestLegacyCheckpoints:
+    """Checkpoints written by the pre-refactor monoliths still restore."""
+
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        with open(os.path.join(LEGACY_DIR, "manifest.json")) as handle:
+            return json.load(handle)
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "conventional",
+            "separation",
+            "iotdb_conventional",
+            "iotdb_separation",
+            "multilevel",
+            "tiered",
+        ],
+    )
+    def test_legacy_checkpoint_restores(self, key, manifest):
+        expected = manifest[key]
+        engine = LsmEngine.restore(os.path.join(LEGACY_DIR, f"{key}.ckpt"))
+        assert type(engine).__name__ == expected["engine_class"]
+        assert engine.ingested_points == expected["ingested_points"]
+        assert engine.stats.disk_writes == expected["disk_writes"]
+        assert engine.stats.write_amplification == pytest.approx(
+            expected["write_amplification"]
+        )
+        snap = engine.snapshot()
+        assert snap.disk_points == expected["disk_points"]
+        assert snap.memory_points == expected["memory_points"]
+        engine.verify()
+        # The restored engine keeps working under the policy kernel.
+        engine.ingest(np.linspace(1e9, 1e9 + 500.0, 200))
+        engine.flush_all()
+        engine.verify()

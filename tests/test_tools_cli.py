@@ -1,6 +1,5 @@
 """Tests for the operator tools CLI (repro.tools)."""
 
-import pytest
 
 from repro.tools import main
 
