@@ -86,3 +86,45 @@ def test_perf_range_query(benchmark, stream):
 
     total = benchmark(query)
     assert total > 0
+
+
+def test_perf_range_query_pruned(benchmark, stream):
+    """Narrow windows over a ~200-table snapshot: the pruning-index case.
+
+    Each window overlaps a handful of tables, so nearly all per-query
+    work is finding them — the cost the index collapses to O(log T).
+    """
+    engine = ConventionalEngine(LsmConfig(512, 512))
+    engine.ingest(stream.tg)
+    engine.flush_all()
+    snapshot = engine.snapshot()
+    assert snapshot.index is not None
+    assert len(snapshot.tables) >= 150
+    hi = float(stream.tg.max())
+    rng = np.random.default_rng(1)
+    windows = rng.uniform(0.1, 0.9, 256) * hi
+
+    def query():
+        pruned = 0
+        for lo in windows:
+            pruned += execute_range_query(snapshot, lo, lo + 500.0).tables_pruned
+        return pruned
+
+    pruned = benchmark(query)
+    assert pruned > 0
+
+
+def test_perf_snapshot_cached(benchmark, stream):
+    """Repeated snapshots of a quiescent engine hit the epoch cache."""
+    engine = ConventionalEngine(LsmConfig(512, 512))
+    engine.ingest(stream.tg)
+    engine.flush_all()
+
+    def snapshots():
+        last = None
+        for _ in range(512):
+            last = engine.snapshot()
+        return last
+
+    snapshot = benchmark(snapshots)
+    assert snapshot is engine.snapshot()

@@ -90,6 +90,55 @@ class ZetaModel:
     def __call__(self, n: float) -> float:
         return self.zeta(n)
 
+    def zeta_batch(self, ns) -> np.ndarray:
+        """Evaluate ``zeta`` for many buffer sizes in one shared pass.
+
+        Uncached sizes that share an ``i_dense`` are streamed together:
+        the log-CDF blocks — the dominant cost of :meth:`zeta` — are
+        computed once up to the largest cap instead of once per size.
+        Block boundaries, prefix rows and the saturation fill replicate
+        the sequential :meth:`zeta` arithmetic exactly, and the tail
+        integrals run in first-seen order so the integrated-log-CDF
+        table evolves identically — every returned value is
+        bit-identical to what a sequence of :meth:`zeta` calls yields,
+        and every value is cached for later scalar calls.
+        """
+        keys: list[int] = []
+        for n in ns:
+            if not math.isfinite(n):
+                raise ModelError(f"n must be finite, got {n}")
+            keys.append(int(round(n)) if n >= 1 else 0)
+        order: list[int] = []
+        seen: set[int] = set()
+        for key in keys:
+            if key < 1 or key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            order.append(key)
+        plans = {
+            key: (
+                self._term_bound_radius(key),
+                min(self.config.dense_terms, self._term_bound_radius(key)),
+            )
+            for key in order
+        }
+        groups: dict[int, list[int]] = {}
+        for key in order:
+            groups.setdefault(plans[key][1], []).append(key)
+        dense: dict[int, float] = {}
+        for i_dense, group in groups.items():
+            dense.update(self._dense_sum_batch(group, i_dense))
+        for key in order:
+            i_bound, i_dense = plans[key]
+            total = dense[key]
+            if i_bound > i_dense:
+                total += self._tail_integral(key, i_dense, i_bound)
+            self._cache[key] = float(total)
+        return np.asarray(
+            [self._cache[key] if key >= 1 else 0.0 for key in keys],
+            dtype=np.float64,
+        )
+
     # -- internals -------------------------------------------------------------------
 
     def _log_cdf(self, values: np.ndarray) -> np.ndarray:
@@ -163,6 +212,58 @@ class ZetaModel:
         diffs = hi_rows - lo_rows
         terms = 1.0 - np.exp(diffs).mean(axis=1)
         return float(np.clip(terms, 0.0, None).sum())
+
+    def _dense_sum_batch(
+        self, group: list[int], i_dense: int
+    ) -> dict[int, float]:
+        """Dense sums for many ``n`` sharing ``i_dense``, one log-CDF stream.
+
+        The stream runs once to the largest per-``n`` cap; each ``n``
+        harvests its own prefix rows from the shared cumulative blocks.
+        Because every sequential :meth:`_dense_sum` uses the same block
+        partition (start 1, width 8192), the prefix row at any ``m`` is
+        bit-identical however far the stream continues past it, and
+        saturated rows are filled with the shared prefix at the
+        saturation cap — exactly the row the sequential path stops on.
+        """
+        nodes = self._x_nodes
+        k = nodes.size
+        sat_cap = self._saturation_index() + i_dense
+        caps = {n: min(n + i_dense, sat_cap) for n in group}
+        cap_max = max(caps.values())
+        lo_rows = np.zeros((i_dense + 1, k))
+        hi_rows = {n: np.zeros((i_dense + 1, k)) for n in group}
+        hi_filled = {n: np.zeros(i_dense + 1, dtype=bool) for n in group}
+        sat_row = np.zeros(k)
+        running = np.zeros(k)
+        block = 8192
+        for start in range(1, cap_max + 1, block):
+            stop = min(start + block, cap_max + 1)
+            ms = np.arange(start, stop, dtype=np.float64)
+            log_f = self._log_cdf(ms[:, None] * self.dt + nodes[None, :])
+            cumulative = running[None, :] + np.cumsum(log_f, axis=0)
+            if start <= i_dense:
+                upto = min(i_dense + 1, stop)
+                lo_rows[start:upto] = cumulative[: upto - start]
+            for n in group:
+                first = max(n, start)
+                last = min(n + i_dense, caps[n], stop - 1)
+                if first <= last:
+                    hi_rows[n][first - n : last - n + 1] = cumulative[
+                        first - start : last - start + 1
+                    ]
+                    hi_filled[n][first - n : last - n + 1] = True
+            if start <= sat_cap < stop:
+                sat_row = cumulative[sat_cap - start]
+            running = cumulative[-1]
+        results: dict[int, float] = {}
+        for n in group:
+            rows = hi_rows[n]
+            if caps[n] < n + i_dense:
+                rows[~hi_filled[n]] = sat_row
+            terms = 1.0 - np.exp(rows - lo_rows).mean(axis=1)
+            results[n] = float(np.clip(terms, 0.0, None).sum())
+        return results
 
     def _tail_integral(self, n: int, i_dense: int, i_bound: int) -> float:
         """Geometric-grid trapezoid over ``i in (i_dense, i_bound]``."""

@@ -26,7 +26,7 @@ import math
 from .arrival_ratio import InOrderCurve
 from .subsequent import ZetaModel
 from .wa_conventional import GRANULARITY_KAPPA, predict_wa_conventional
-from .wa_separation import separation_breakdown
+from .wa_separation import _G_FLOOR, separation_breakdown
 
 __all__ = ["PolicyDecision", "tune_separation_policy"]
 
@@ -134,10 +134,26 @@ def tune_separation_policy(
     evaluated: dict[int, float] = {}
 
     def evaluate(candidates: np.ndarray) -> None:
-        for n_seq in candidates:
-            key = int(n_seq)
-            if key not in evaluated:
-                evaluated[key] = r_s(key)
+        fresh = [
+            key
+            for n_seq in candidates
+            if (key := int(n_seq)) not in evaluated
+        ]
+        # Warm the zeta cache for every fresh candidate in one shared
+        # log-CDF stream; `g` comes from the shared curve, so each
+        # candidate's phase size N_arrive (Eq. 4) is exactly what
+        # separation_breakdown recomputes below — the per-candidate
+        # r_s calls then hit the cache and the sweep's decisions are
+        # bit-identical to the unbatched evaluation order.
+        n_arrives = []
+        for key in fresh:
+            g = curve.g(key)
+            if g >= _G_FLOOR:
+                n_arrives.append(key * (n - key) / g + (n - key))
+        if n_arrives:
+            zeta_model.zeta_batch(n_arrives)
+        for key in fresh:
+            evaluated[key] = r_s(key)
 
     if exhaustive:
         evaluate(np.arange(1, n))

@@ -30,8 +30,12 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pruning import TableIndex
 
 from ..config import LsmConfig
 from ..errors import (
@@ -43,6 +47,7 @@ from ..errors import (
 )
 from ..faults.injector import FaultInjector
 from ..obs.telemetry import Telemetry, build_telemetry
+from .memtable import EMPTY_IDS
 from .sstable import SSTable
 from .wa_tracker import WriteStats
 from .wal import WriteAheadLog
@@ -58,7 +63,7 @@ class MemTableView:
     tg: np.ndarray
     #: Arrival-index ids aligned with ``tg``; empty when the engine did
     #: not expose them (queries then report id -1 for buffered rows).
-    ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    ids: np.ndarray = field(default_factory=lambda: EMPTY_IDS)
 
     def count_in_range(self, lo: float, hi: float) -> int:
         """Points with ``lo <= tg <= hi`` (linear scan; memtables are small)."""
@@ -70,10 +75,25 @@ class MemTableView:
 
 @dataclass(frozen=True)
 class Snapshot:
-    """Frozen read view of an engine: on-disk tables plus MemTables."""
+    """Frozen read view of an engine: on-disk tables plus MemTables.
+
+    When the producing engine attached a :class:`~repro.lsm.pruning.TableIndex`
+    (kernels do, cached per structure epoch), :meth:`overlapping_tables`
+    answers range lookups in O(log T) per sorted run instead of a linear
+    scan; without one it falls back to the full metadata walk, so
+    hand-built snapshots keep working.
+    """
 
     tables: list[SSTable]
     memtables: list[MemTableView]
+    #: Optional pruning index over :attr:`tables` (``None`` = linear scan).
+    index: "TableIndex | None" = None
+
+    def overlapping_tables(self, lo: float, hi: float) -> list[SSTable]:
+        """Tables intersecting ``[lo, hi]``, in snapshot order."""
+        if self.index is not None:
+            return self.index.overlapping(lo, hi)
+        return [t for t in self.tables if t.overlaps(lo, hi)]
 
     @property
     def disk_points(self) -> int:

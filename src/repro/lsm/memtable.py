@@ -14,7 +14,18 @@ import numpy as np
 from ..errors import EngineError
 from .points import sort_by_generation
 
-__all__ = ["MemTable"]
+__all__ = ["MemTable", "EMPTY_TG", "EMPTY_IDS"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+#: Shared read-only empty arrays: every empty peek (and every snapshot
+#: of an empty MemTable) returns these instead of allocating.
+EMPTY_TG = _frozen(np.empty(0, dtype=np.float64))
+EMPTY_IDS = _frozen(np.empty(0, dtype=np.int64))
 
 
 class MemTable:
@@ -28,6 +39,12 @@ class MemTable:
         self._tg_segments: list[np.ndarray] = []
         self._id_segments: list[np.ndarray] = []
         self._size = 0
+        #: Monotone content version: bumped by every extend/clear so the
+        #: peek cache (and the kernel's snapshot cache) can key on it.
+        self.version = 0
+        self._peek_version = -1
+        self._peek_tg = EMPTY_TG
+        self._peek_ids = EMPTY_IDS
 
     def __len__(self) -> int:
         return self._size
@@ -62,18 +79,39 @@ class MemTable:
         self._tg_segments.append(np.asarray(tg, dtype=np.float64))
         self._id_segments.append(np.asarray(ids, dtype=np.int64))
         self._size += int(tg.size)
+        self.version += 1
+
+    def _refresh_peek(self) -> None:
+        """Rebuild the cached read-only peek arrays for this version.
+
+        The cache makes repeated peeks (snapshots between mutations,
+        checkpoint packing after a snapshot) free, and returning frozen
+        arrays means snapshot views can share them safely: a later
+        extend/clear builds *new* arrays, it never touches these.
+        """
+        if self._peek_version == self.version:
+            return
+        if not self._tg_segments:
+            self._peek_tg = EMPTY_TG
+            self._peek_ids = EMPTY_IDS
+        else:
+            self._peek_tg = _frozen(np.concatenate(self._tg_segments))
+            self._peek_ids = _frozen(np.concatenate(self._id_segments))
+        self._peek_version = self.version
 
     def peek_tg(self) -> np.ndarray:
-        """Unsorted concatenated view of buffered generation times."""
-        if not self._tg_segments:
-            return np.empty(0, dtype=np.float64)
-        return np.concatenate(self._tg_segments)
+        """Unsorted concatenated view of buffered generation times.
+
+        Read-only and cached per content version — callers share one
+        frozen array instead of each paying a concatenation copy.
+        """
+        self._refresh_peek()
+        return self._peek_tg
 
     def peek_ids(self) -> np.ndarray:
-        """Unsorted concatenated view of buffered ids."""
-        if not self._id_segments:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(self._id_segments)
+        """Unsorted concatenated view of buffered ids (read-only, cached)."""
+        self._refresh_peek()
+        return self._peek_ids
 
     def sorted_view(self) -> tuple[np.ndarray, np.ndarray]:
         """``(tg, ids)`` sorted by generation time, *without* clearing.
@@ -94,6 +132,7 @@ class MemTable:
         self._tg_segments.clear()
         self._id_segments.clear()
         self._size = 0
+        self.version += 1
 
     def drain(self) -> tuple[np.ndarray, np.ndarray]:
         """Empty the table, returning ``(tg, ids)`` sorted by generation time."""

@@ -105,6 +105,18 @@ class CompactionPolicy(abc.ABC):
     def visible_tables(self) -> list[SSTable]:
         """Every persisted table, in snapshot order."""
 
+    def pruning_groups(self) -> list[tuple[str, list[SSTable]]]:
+        """Structure groups for the time-range pruning index.
+
+        Each ``(kind, tables)`` entry is either ``"sorted"`` (ordered,
+        non-overlapping — binary-searchable) or ``"loose"`` (zone-map
+        filtered).  The concatenation of the groups must equal
+        :meth:`visible_tables` so pruned scans visit the same tables in
+        the same order as full scans.  The default treats everything as
+        one loose group, which is always correct.
+        """
+        return [("loose", self.visible_tables())]
+
     def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
         """Named table groups that must be sorted *and* non-overlapping."""
         return []
@@ -157,6 +169,7 @@ class LeveledSingleRun(CompactionPolicy):
             )
             self.run.replace(region, new_tables)
             memtable.clear()
+            kernel.mark_structure_change()
             span.rename("merge" if victims else "flush")
             span.set(
                 new_points=int(mem_tg.size),
@@ -195,6 +208,7 @@ class LeveledSingleRun(CompactionPolicy):
             tables = build_sstables(tg, ids, kernel.config.sstable_size)
             self.run.append(tables)
             memtable.clear()
+            kernel.mark_structure_change()
             span.set(new_points=int(tg.size), tables_written=len(tables))
             kernel.stats.record_written(ids)
         kernel.stats.record_event(
@@ -229,6 +243,7 @@ class LeveledSingleRun(CompactionPolicy):
             )
             self.run.replace(region, new_tables)
             memtable.clear()
+            kernel.mark_structure_change()
             span.set(
                 new_points=int(tg.size),
                 rewritten_points=rewritten,
@@ -249,6 +264,9 @@ class LeveledSingleRun(CompactionPolicy):
 
     def visible_tables(self) -> list[SSTable]:
         return list(self.run.tables)
+
+    def pruning_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return [("sorted", list(self.run.tables))]
 
     def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
         return [("run", list(self.run.tables))]
@@ -329,6 +347,7 @@ class MultiLevelCascade(CompactionPolicy):
                 source_memtable.clear()
             if source_run is not None:
                 source_run.clear()
+            kernel.mark_structure_change()
             span.rename(kind)
             span.set(
                 new_points=int(new_points),
@@ -350,6 +369,9 @@ class MultiLevelCascade(CompactionPolicy):
 
     def visible_tables(self) -> list[SSTable]:
         return [t for run in self.levels for t in run.tables]
+
+    def pruning_groups(self) -> list[tuple[str, list[SSTable]]]:
+        return [("sorted", list(run.tables)) for run in self.levels]
 
     def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
         return [
@@ -401,6 +423,7 @@ class SizeTiered(CompactionPolicy):
             run = build_sstables(tg, ids, kernel.config.sstable_size)
             self.levels[0].append(run)
             memtable.clear()
+            kernel.mark_structure_change()
             if run:
                 self._max_disk_tg = max(self._max_disk_tg, run[-1].max_tg)
             span.set(new_points=int(tg.size), tables_written=len(run))
@@ -434,6 +457,7 @@ class SizeTiered(CompactionPolicy):
                 merged = build_sstables(tg, ids, kernel.config.sstable_size)
                 self.levels[level] = []
                 self.levels[level + 1].append(merged)
+                kernel.mark_structure_change()
                 span.set(
                     rewritten_points=int(ids.size),
                     tables_rewritten=len(tables),
@@ -463,6 +487,13 @@ class SizeTiered(CompactionPolicy):
             for level in self.levels
             for run in level
             for table in run
+        ]
+
+    def pruning_groups(self) -> list[tuple[str, list[SSTable]]]:
+        # Runs overlap each other freely, but each run is internally
+        # sorted and non-overlapping — binary-searchable on its own.
+        return [
+            ("sorted", list(run)) for level in self.levels for run in level
         ]
 
     def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
@@ -541,6 +572,7 @@ class IoTDBTwoSpace(CompactionPolicy):
             table = SSTable(tg=tg, ids=ids)
             self.l1_files.append(table)
             memtable.clear()
+            kernel.mark_structure_change()
             self._max_disk_tg = max(self._max_disk_tg, table.max_tg)
             self.foreground_ms += _FLUSH_SYNC_MS + self.disk.write_cost_ms(len(table))
             span.set(new_points=int(tg.size), tables_written=1)
@@ -574,6 +606,7 @@ class IoTDBTwoSpace(CompactionPolicy):
             )
             self.l2.replace(region, new_tables)
             self.l1_files = []
+            kernel.mark_structure_change()
             self.background_ms += self.disk.write_cost_ms(
                 merged_ids.size
             ) + self.disk.read_cost_ms(len(files) + len(victims), merged_ids.size)
@@ -596,6 +629,15 @@ class IoTDBTwoSpace(CompactionPolicy):
 
     def visible_tables(self) -> list[SSTable]:
         return list(self.l1_files) + list(self.l2.tables)
+
+    def pruning_groups(self) -> list[tuple[str, list[SSTable]]]:
+        # L1 flush files may overlap each other (zone-map filter); the
+        # L2 run is sorted and non-overlapping (binary search).  Order
+        # matches visible_tables: L1 first, then L2.
+        return [
+            ("loose", list(self.l1_files)),
+            ("sorted", list(self.l2.tables)),
+        ]
 
     def sorted_table_groups(self) -> list[tuple[str, list[SSTable]]]:
         return [("l2", list(self.l2.tables))]

@@ -24,6 +24,7 @@ from ...config import LsmConfig
 from ...faults.injector import FaultInjector
 from ...obs.telemetry import Telemetry
 from ..base import LsmEngine, MemTableView, Snapshot
+from ..pruning import TableIndex
 from ..sstable import SSTable
 from ..wa_tracker import WriteStats
 from .compaction import CompactionPolicy
@@ -58,6 +59,12 @@ class StorageKernel(LsmEngine):
         self.placement = placement
         self.flush = flush
         self.compaction = compaction
+        #: Structure epoch: bumped whenever the disk structure changes
+        #: (flush/merge landing, checkpoint restore).  Snapshot and
+        #: pruning-index caches key on it.
+        self._structure_epoch = 0
+        self._index_cache: tuple[int, TableIndex] | None = None
+        self._snapshot_cache: tuple[tuple[int, ...], Snapshot] | None = None
         # Policies see the kernel (config, stats, telemetry, fault
         # boundary) through one back-reference each; binding order lets
         # placement/flush read compaction state (the watermark) safely.
@@ -76,7 +83,35 @@ class StorageKernel(LsmEngine):
 
     # -- reading ---------------------------------------------------------------
 
+    @property
+    def structure_epoch(self) -> int:
+        """Monotone counter of disk-structure changes (flush/merge/restore)."""
+        return self._structure_epoch
+
+    def mark_structure_change(self) -> None:
+        """Invalidate read-path caches; called by landing-op commit points."""
+        self._structure_epoch += 1
+
+    def _pruning_index(self) -> TableIndex:
+        cached = self._index_cache
+        if cached is not None and cached[0] == self._structure_epoch:
+            return cached[1]
+        index = TableIndex(self.compaction.pruning_groups())
+        self._index_cache = (self._structure_epoch, index)
+        return index
+
     def snapshot(self) -> Snapshot:
+        # Keyed on the structure epoch plus every MemTable's content
+        # version: any flush/merge/restore or buffered write produces a
+        # fresh key, so serving the cached Snapshot is always safe.  The
+        # arrays inside it are frozen (read-only) views, never copies.
+        key = (
+            self._structure_epoch,
+            *(memtable.version for memtable in self.placement.memtables()),
+        )
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         views = [
             MemTableView(
                 name=memtable.name,
@@ -86,7 +121,13 @@ class StorageKernel(LsmEngine):
             for memtable in self.placement.memtables()
             if not memtable.empty
         ]
-        return Snapshot(tables=self.compaction.visible_tables(), memtables=views)
+        snapshot = Snapshot(
+            tables=self.compaction.visible_tables(),
+            memtables=views,
+            index=self._pruning_index(),
+        )
+        self._snapshot_cache = (key, snapshot)
+        return snapshot
 
     def describe_policies(self) -> dict[str, str]:
         """The composition as labels (for ``repro engines`` and docs)."""
@@ -106,6 +147,7 @@ class StorageKernel(LsmEngine):
     def _restore_state(self, state: dict, arrays: dict[str, np.ndarray]) -> None:
         self.compaction.unpack(state, arrays)
         self.placement.unpack(arrays)
+        self.mark_structure_change()
 
     # -- invariants ------------------------------------------------------------
 

@@ -23,7 +23,7 @@ class SSTable:
     seeks) can distinguish physical files.
     """
 
-    __slots__ = ("tg", "ids", "table_id")
+    __slots__ = ("tg", "ids", "table_id", "min_tg", "max_tg")
 
     def __init__(self, tg: np.ndarray, ids: np.ndarray) -> None:
         if tg.size == 0:
@@ -37,19 +37,15 @@ class SSTable:
         self.tg = tg
         self.ids = ids
         self.table_id = next(_SEQUENCE)
+        # Range metadata sits on the query hot path (zone maps, pruning
+        # index construction); materialise it once at build time.
+        #: Earliest generation time in the table.
+        self.min_tg = float(tg[0])
+        #: Latest generation time in the table.
+        self.max_tg = float(tg[-1])
 
     def __len__(self) -> int:
         return int(self.tg.size)
-
-    @property
-    def min_tg(self) -> float:
-        """Earliest generation time in the table."""
-        return float(self.tg[0])
-
-    @property
-    def max_tg(self) -> float:
-        """Latest generation time in the table."""
-        return float(self.tg[-1])
 
     def overlaps(self, lo: float, hi: float) -> bool:
         """True when the table's range intersects ``[lo, hi]``."""

@@ -65,9 +65,10 @@ def execute_aggregate_query(
     total = 0.0
     scanned = 0
     pruned = 0
-    for table in snapshot.tables:
-        if not table.overlaps(lo, hi):
-            continue
+    # Non-overlapping tables contribute nothing, so the indexed lookup
+    # (when the engine attached one) changes only the cost of finding
+    # the overlap set, never the aggregate values.
+    for table in snapshot.overlapping_tables(lo, hi):
         if lo <= table.min_tg and table.max_tg <= hi:
             # Fully covered: metadata + precomputable sum suffice.
             pruned += 1

@@ -39,6 +39,13 @@ class QueryStats:
     files_touched: int
     #: Points scanned in MemTables (in memory, no seek).
     memtable_points_scanned: int
+    #: SSTables the pruning index (or zone-map fallback) skipped without
+    #: touching — ``tables in snapshot - files_touched``.
+    tables_pruned: int = 0
+    #: SSTables whose metadata the query consulted.  Equal to
+    #: :attr:`files_touched` on the indexed path; with no index it is
+    #: the full table count (a linear zone-map walk).
+    tables_consulted: int = 0
     #: Sorted generation times of the result set, when ``collect=True``
     #: was requested; ``None`` otherwise (metrics-only mode).
     rows: np.ndarray | None = None
@@ -70,7 +77,11 @@ def execute_range_query(
     """Run ``lo <= t_g <= hi`` against a snapshot.
 
     Every overlapping SSTable is read in full (sequential scan of the
-    file); MemTables are always scanned since they are unsorted.  With
+    file); overlapping tables come from the snapshot's pruning index
+    when the engine attached one (O(log T) per sorted run), falling
+    back to a linear zone-map walk otherwise — the tables visited, and
+    the rows collected, are identical either way.  MemTables are always
+    scanned since they are unsorted.  With
     ``collect=True`` the matching generation times are materialised,
     sorted, in :attr:`QueryStats.rows` (metrics are identical either
     way; collection just costs the copy).
@@ -90,9 +101,10 @@ def execute_range_query(
     files = 0
     collected_tg: list[np.ndarray] = []
     collected_ids: list[np.ndarray] = []
-    for table in snapshot.tables:
-        if not table.overlaps(lo, hi):
-            continue
+    overlapping = snapshot.overlapping_tables(lo, hi)
+    tables_total = len(snapshot.tables)
+    consulted = len(overlapping) if snapshot.index is not None else tables_total
+    for table in overlapping:
         files += 1
         disk_read += len(table)
         result += table.count_in_range(lo, hi)
@@ -134,6 +146,8 @@ def execute_range_query(
         disk_points_read=disk_read,
         files_touched=files,
         memtable_points_scanned=mem_scanned,
+        tables_pruned=tables_total - files,
+        tables_consulted=consulted,
         rows=rows,
         row_ids=row_ids,
     )
@@ -149,7 +163,9 @@ def execute_range_query(
                 "disk_points_read": disk_read,
                 "files_touched": files,
                 "memtable_points_scanned": mem_scanned,
-                "tables_total": len(snapshot.tables),
+                "tables_total": tables_total,
+                "tables_pruned": tables_total - files,
+                "tables_consulted": consulted,
                 "memtables_total": len(snapshot.memtables),
             }
         )
@@ -158,5 +174,7 @@ def execute_range_query(
         telemetry.count("query.disk_points_read", disk_read)
         telemetry.count("query.files_touched", files)
         telemetry.count("query.memtable_points_scanned", mem_scanned)
+        telemetry.count("query.tables_pruned", tables_total - files)
+        telemetry.count("query.tables_consulted", consulted)
         telemetry.observe("query.duration_ms", duration_ms)
     return stats

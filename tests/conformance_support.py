@@ -71,6 +71,25 @@ ENGINE_FACTORIES = {
     "adaptive": lambda t: AdaptiveEngine(CONFIG, check_interval=512, telemetry=t),
 }
 
+#: Read-path conformance set: every first-class engine above plus two
+#: composed triples no monolithic engine implements (separation-style
+#: split placement grafted onto tiered and multilevel structures).  The
+#: pruned query path must be bit-identical to a full scan on all of
+#: them (``tests/test_query_pruning.py``).
+def _composed_factory(placement, compaction):
+    from repro.lsm.policies.compose import compose_engine
+
+    return lambda t: compose_engine(
+        placement, compaction=compaction, config=CONFIG, telemetry=t
+    )
+
+
+PRUNING_ENGINE_FACTORIES = {
+    **ENGINE_FACTORIES,
+    "composed_split_tiered": _composed_factory("split", "tiered"),
+    "composed_split_multilevel": _composed_factory("split", "multilevel"),
+}
+
 #: Stamp fields on telemetry events that carry wall-clock timing and are
 #: legitimately non-deterministic.
 _TIMING_FIELDS = ("seq", "ts_ms", "duration_ms")

@@ -1,0 +1,158 @@
+"""Conformance and caching tests for the read-path acceleration.
+
+The pruning index is a pure access-path optimisation: for every engine
+(including composed triples no monolith implements), every query window
+and every ingest stage, the pruned path must visit exactly the tables a
+full metadata scan would visit and return bit-identical results.  The
+structure-epoch snapshot cache must serve identical snapshots while the
+engine is quiescent and invalidate on any mutation or restore.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conformance_support import (
+    CHUNK,
+    PRUNING_ENGINE_FACTORIES,
+    WORKLOADS,
+)
+from repro.errors import QueryError
+from repro.lsm.adaptive import AdaptiveEngine
+from repro.lsm.base import Snapshot
+from repro.lsm.memtable import EMPTY_IDS, EMPTY_TG, MemTable
+from repro.lsm.pruning import TableIndex
+from repro.query.aggregation import execute_aggregate_query
+from repro.query.executor import execute_range_query
+from repro.workloads import TABLE_II
+
+N_POINTS = 4000
+
+
+def _build_engine(engine_key, workload, stop=None):
+    engine = PRUNING_ENGINE_FACTORIES[engine_key](None)
+    dataset = TABLE_II[workload].build(n_points=N_POINTS, seed=11)
+    adaptive = isinstance(engine, AdaptiveEngine)
+    stop = len(dataset) if stop is None else stop
+    for pos in range(0, stop, CHUNK):
+        chunk_tg = dataset.tg[pos : pos + CHUNK]
+        if adaptive:
+            engine.ingest(chunk_tg, dataset.ta[pos : pos + CHUNK])
+        else:
+            engine.ingest(chunk_tg)
+    return engine, dataset
+
+
+def _windows(snapshot, rng, count=24):
+    """Random query windows spanning narrow, wide, empty and degenerate."""
+    tgs = [t for table in snapshot.tables for t in (table.min_tg, table.max_tg)]
+    lo_all = min(tgs) if tgs else 0.0
+    hi_all = max(tgs) if tgs else 1.0
+    span = max(hi_all - lo_all, 1.0)
+    windows = []
+    for _ in range(count):
+        lo = rng.uniform(lo_all - 0.1 * span, hi_all + 0.1 * span)
+        width = span * rng.choice([0.0, 0.001, 0.01, 0.1, 1.5])
+        windows.append((lo, lo + width))
+    windows.append((lo_all, hi_all))          # everything
+    windows.append((hi_all + span, hi_all + 2 * span))  # nothing
+    return windows
+
+
+def _assert_queries_match(snapshot):
+    assert snapshot.index is not None
+    reference = Snapshot(tables=snapshot.tables, memtables=snapshot.memtables)
+    rng = np.random.default_rng(7)
+    for lo, hi in _windows(snapshot, rng):
+        pruned = execute_range_query(snapshot, lo, hi, collect=True)
+        full = execute_range_query(reference, lo, hi, collect=True)
+        assert pruned.result_points == full.result_points
+        assert pruned.disk_points_read == full.disk_points_read
+        assert pruned.files_touched == full.files_touched
+        assert pruned.memtable_points_scanned == full.memtable_points_scanned
+        assert pruned.tables_pruned == full.tables_pruned
+        assert np.array_equal(pruned.rows, full.rows)
+        assert np.array_equal(pruned.row_ids, full.row_ids)
+        # The indexed path consults only what it touches; the fallback
+        # walks every table's metadata.
+        assert pruned.tables_consulted == pruned.files_touched
+        assert full.tables_consulted == len(snapshot.tables)
+        agg_pruned = execute_aggregate_query(snapshot, lo, hi)
+        agg_full = execute_aggregate_query(reference, lo, hi)
+        assert agg_pruned == agg_full
+
+
+@pytest.mark.parametrize("engine_key", sorted(PRUNING_ENGINE_FACTORIES))
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_pruned_queries_match_full_scan(engine_key, workload):
+    """Pruned results are bit-identical to full scans at every stage."""
+    engine, _ = _build_engine(engine_key, workload)
+    _assert_queries_match(engine.snapshot())   # memtables still populated
+    engine.flush_all()
+    _assert_queries_match(engine.snapshot())   # disk-only
+
+
+@pytest.mark.parametrize("engine_key", sorted(PRUNING_ENGINE_FACTORIES))
+def test_pruned_queries_match_mid_ingest(engine_key):
+    """Snapshots taken mid-workload (fresh loose files) also agree."""
+    engine, _ = _build_engine(engine_key, "M8", stop=N_POINTS // 3)
+    _assert_queries_match(engine.snapshot())
+
+
+def test_table_index_rejects_inverted_range_and_unknown_kind():
+    index = TableIndex([])
+    with pytest.raises(QueryError):
+        index.overlapping(2.0, 1.0)
+    with pytest.raises(QueryError):
+        TableIndex([("diagonal", [object()])])
+
+
+def test_snapshot_cached_until_mutation():
+    engine, dataset = _build_engine("conventional", "M1")
+    engine.flush_all()
+    first = engine.snapshot()
+    assert engine.snapshot() is first          # quiescent: cache hit
+    engine.ingest(dataset.tg[-1:] + 1e9)       # memtable-only change
+    second = engine.snapshot()
+    assert second is not first
+    assert second.index is first.index         # disk unchanged: index reused
+    epoch = engine.structure_epoch
+    engine.flush_all()                         # structural change
+    assert engine.structure_epoch > epoch
+    third = engine.snapshot()
+    assert third is not second
+    assert third.index is not second.index
+
+
+def test_restore_bumps_epoch_and_queries_match(tmp_path):
+    engine, _ = _build_engine("conventional", "M1")
+    engine.flush_all()
+    path = str(tmp_path / "ckpt.npz")
+    engine.save_checkpoint(path)
+    restored = type(engine).restore(path)
+    # _restore_state marks a structure change, so nothing stale (from a
+    # subclass populating caches pre-restore) can survive it.
+    assert restored.structure_epoch > 0
+    stats = execute_range_query(
+        restored.snapshot(), -np.inf, np.inf, collect=True
+    )
+    reference = execute_range_query(
+        engine.snapshot(), -np.inf, np.inf, collect=True
+    )
+    assert np.array_equal(stats.rows, reference.rows)
+    assert stats.files_touched == reference.files_touched
+
+
+def test_memtable_views_are_read_only_and_shared_when_empty():
+    table = MemTable(capacity=8)
+    assert table.peek_tg() is EMPTY_TG
+    assert table.peek_ids() is EMPTY_IDS
+    table.extend(np.asarray([3.0, 1.0]), np.asarray([0, 1], dtype=np.int64))
+    tg = table.peek_tg()
+    assert table.peek_tg() is tg               # cached per version
+    with pytest.raises(ValueError):
+        tg[0] = 99.0
+    stale = tg.copy()
+    table.extend(np.asarray([2.0]), np.asarray([2], dtype=np.int64))
+    assert np.array_equal(tg, stale)           # old view untouched
+    table.clear()
+    assert table.peek_tg() is EMPTY_TG
