@@ -7,6 +7,8 @@ latency and query execution.  They guard against performance
 regressions in the simulator and the vectorised model numerics.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -23,6 +25,8 @@ from repro.workloads import generate_synthetic
 
 _DELAY = LogNormalDelay(5.0, 2.0)
 _DT = 50.0
+#: Points per simulated append for the bursty-ingest stability benchmarks.
+_BURST = 512
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +116,103 @@ def test_perf_range_query_pruned(benchmark, stream):
 
     pruned = benchmark(query)
     assert pruned > 0
+
+
+def test_perf_ingest_latency_percentiles(benchmark, stream):
+    """Tail latency of bursty ingest under the incremental scheduler.
+
+    Ingests the stream in ``_BURST``-point appends through a
+    scheduler-paced engine, records per-append wall time, and reports
+    p50/p99/p99.9 (microseconds) via ``extra_info`` so the trajectory
+    file carries the tail shape, not just the total.
+    """
+    tg = stream.tg
+    config = LsmConfig(512, 512).with_stability(
+        compaction_scheduler=True,
+        compaction_work_unit=128,
+        compaction_tokens_per_point=4.0,
+        compaction_burst=2048,
+    )
+    starts = range(0, tg.size, _BURST)
+
+    def ingest_bursts():
+        engine = ConventionalEngine(config)
+        latencies = np.empty(len(starts))
+        for i, start in enumerate(starts):
+            began = time.perf_counter()
+            engine.ingest(tg[start : start + _BURST])
+            latencies[i] = time.perf_counter() - began
+        engine.flush_all()
+        return engine, latencies
+
+    engine, latencies = benchmark(ingest_bursts)
+    p50, p99, p999 = np.percentile(latencies * 1e6, [50.0, 99.0, 99.9])
+    benchmark.extra_info["p50_us"] = round(float(p50), 3)
+    benchmark.extra_info["p99_us"] = round(float(p99), 3)
+    benchmark.extra_info["p999_us"] = round(float(p999), 3)
+    assert engine.ingested_points == tg.size
+    assert 0.0 < p50 <= p99 <= p999
+
+
+def test_perf_bursty_ingest_stall(benchmark, stream):
+    """The headline stability claim: the scheduler bounds append stalls.
+
+    Runs the same bursty workload through a stop-the-world baseline and
+    a scheduler-paced engine, comparing the worst landing work executed
+    inside any single append (a deterministic wall-clock proxy:
+    ``disk_writes`` per burst for the baseline versus the scheduler's
+    ``max_batch_work_points``).  The paced engine must cut the worst
+    stall by at least 5x while reaching the identical final state.
+    """
+    tg = stream.tg
+    paced_config = LsmConfig(512, 512).with_stability(
+        compaction_scheduler=True,
+        compaction_work_unit=128,
+        compaction_tokens_per_point=2.0,
+        compaction_burst=1024,
+        # Keep admission healthy: this benchmark isolates pacing, so the
+        # backlog is allowed to grow and drains in the final flush.
+        backpressure_throttle=10**9,
+        backpressure_shed=10**9,
+    )
+    starts = range(0, tg.size, _BURST)
+
+    def run_pair():
+        baseline = ConventionalEngine(LsmConfig(512, 512))
+        baseline_stall = 0
+        seen = 0
+        for start in starts:
+            baseline.ingest(tg[start : start + _BURST])
+            events = baseline.stats.events
+            burst_work = sum(e.disk_writes for e in events[seen:])
+            seen = len(events)
+            baseline_stall = max(baseline_stall, burst_work)
+
+        paced = ConventionalEngine(paced_config)
+        for start in starts:
+            paced.ingest(tg[start : start + _BURST])
+        paced_stall = paced.scheduler.max_batch_work_points
+
+        baseline.flush_all()
+        paced.flush_all()
+        return baseline, paced, baseline_stall, paced_stall
+
+    baseline, paced, baseline_stall, paced_stall = benchmark(run_pair)
+    benchmark.extra_info["baseline_stall_points"] = baseline_stall
+    benchmark.extra_info["paced_stall_points"] = paced_stall
+    assert paced_stall > 0
+    assert baseline_stall >= 5 * paced_stall, (
+        f"scheduler stall {paced_stall} not 5x below baseline "
+        f"{baseline_stall}"
+    )
+    # Pacing must not change what lands: identical accounting and state.
+    assert baseline.ingested_points == paced.ingested_points == tg.size
+    assert baseline.write_amplification == paced.write_amplification
+    assert np.array_equal(
+        baseline.stats.write_counts, paced.stats.write_counts
+    )
+    baseline.verify()
+    paced.verify()
 
 
 def test_perf_snapshot_cached(benchmark, stream):

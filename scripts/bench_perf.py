@@ -12,6 +12,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py --quick    # 1-round smoke
     PYTHONPATH=src python scripts/bench_perf.py --compare-only
     PYTHONPATH=src python scripts/bench_perf.py --update-baseline
+    PYTHONPATH=src python scripts/bench_perf.py --quick \\
+        --require test_perf_bursty_ingest_stall
 
 ``BENCH_perf.json`` layout (schema 1)::
 
@@ -173,6 +175,15 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUTPUT,
         help=f"trajectory file (default {DEFAULT_OUTPUT})",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="TEST",
+        help="fail unless this benchmark name appears in the run "
+        "(repeatable); guards against stability benchmarks being "
+        "skipped or renamed without CI noticing",
+    )
     args = parser.parse_args(argv)
 
     history = load_history(args.output)
@@ -190,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench-perf] baseline set from this run")
 
     failures = compare(history["baseline"], current, args.max_regression)
+
+    for name in args.require:
+        if name not in current["timings"]:
+            failures.append(f"{name}: required benchmark was not measured")
 
     if not args.compare_only:
         save_history(args.output, history)

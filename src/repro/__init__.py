@@ -76,6 +76,7 @@ from .distributions import (
     fit_best,
 )
 from .errors import (
+    BackpressureError,
     CheckpointCorruptError,
     CheckpointError,
     ConfigError,
@@ -108,11 +109,14 @@ from .obs import (
     configure_telemetry,
     global_telemetry,
     load_trace,
+    render_stability_report,
     render_trace_report,
     reset_global_telemetry,
 )
 from .lsm import (
     AdaptiveEngine,
+    AdmissionController,
+    CompactionScheduler,
     ComposedEngine,
     FleetReport,
     InvariantChecker,
@@ -211,6 +215,10 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FAULT_SITES",
+    # tail-latency stability
+    "CompactionScheduler",
+    "AdmissionController",
+    "BackpressureError",
     # queries
     "QueryStats",
     "execute_range_query",
@@ -255,6 +263,7 @@ __all__ = [
     "reset_global_telemetry",
     "load_trace",
     "render_trace_report",
+    "render_stability_report",
     # errors
     "ReproError",
     "ConfigError",

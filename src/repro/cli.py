@@ -10,7 +10,9 @@ Usage::
     python -m repro run-all --workers 4 --no-cache --scale 0.5
     python -m repro fig07 --trace trace.jsonl
     python -m repro telemetry-report trace.jsonl
+    python -m repro stability-report trace.jsonl
     python -m repro crash-test --engines all --seeds 3 --workers 4
+    python -m repro crash-test --faults fsync_delay,slow_merge --seeds 2
     python -m repro checkpoint --dir state/
     python -m repro recover --dir state/
     python -m repro engines
@@ -38,7 +40,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (see 'list'), 'all', 'list', or a subcommand: "
-            "'run-all', 'telemetry-report <trace.jsonl>', 'crash-test', "
+            "'run-all', 'telemetry-report <trace.jsonl>', "
+            "'stability-report <trace.jsonl>', 'crash-test', "
             "'checkpoint', 'recover', 'engines'"
         ),
     )
@@ -103,6 +106,33 @@ def _telemetry_report(argv: list[str]) -> int:
     return 0
 
 
+def _build_stability_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments stability-report",
+        description=(
+            "Summarise the robustness signals in a JSONL telemetry trace: "
+            "group-commit coalescing ratios, backpressure state "
+            "transitions, and writer stall counts/durations"
+        ),
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    return parser
+
+
+def _stability_report(argv: list[str]) -> int:
+    """The ``stability-report`` subcommand; returns an exit code."""
+    from .obs import render_stability_report
+
+    args = _build_stability_report_parser().parse_args(argv)
+    try:
+        events = load_trace(args.trace)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_stability_report(events, source=args.trace))
+    return 0
+
+
 def _build_crash_test_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments crash-test",
@@ -123,6 +153,16 @@ def _build_crash_test_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seeds", type=int, default=3, help="seeds per (engine, fault) cell"
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "comma-separated fault kinds to sweep (default: the four "
+            "crash/corruption kinds); overload kinds 'fsync_delay' and "
+            "'slow_merge' run the engines degraded under group-commit + "
+            "the incremental compaction scheduler"
+        ),
     )
     parser.add_argument(
         "--points", type=int, default=6000, help="points ingested per case"
@@ -155,6 +195,11 @@ def _crash_test(argv: list[str]) -> int:
         if args.engines == "all"
         else [key.strip() for key in args.engines.split(",") if key.strip()]
     )
+    faults = (
+        None
+        if args.faults is None
+        else [kind.strip() for kind in args.faults.split(",") if kind.strip()]
+    )
     try:
         report = run_crash_test(
             engines=engines,
@@ -162,6 +207,7 @@ def _crash_test(argv: list[str]) -> int:
             n_points=args.points,
             workdir=args.workdir,
             workers=args.workers,
+            faults=faults,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -380,6 +426,7 @@ _SUBCOMMANDS = {
     "run-all": _run_all,
     "engines": _engines,
     "telemetry-report": _telemetry_report,
+    "stability-report": _stability_report,
     "crash-test": _crash_test,
     "checkpoint": _checkpoint,
     "recover": _recover,

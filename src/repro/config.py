@@ -58,6 +58,50 @@ class LsmConfig:
         When True every WAL append is fsync'd; when False (default) the
         record is flushed to the OS only, which is what the simulated
         crash model needs and keeps tests fast.
+    wal_group_records:
+        Group-commit record trigger: WAL records are buffered in memory
+        and committed (one write + flush + optional fsync) once this
+        many are pending.  ``1`` (the default) is per-record commit —
+        byte-identical to the pre-group-commit WAL.  Values ``> 1``
+        trade a bounded durability window (at most ``wal_group_records
+        - 1`` acknowledged-but-uncommitted batches) for coalesced
+        fsyncs; ``WriteAheadLog.sync()`` is the explicit barrier.
+    wal_group_bytes:
+        Group-commit size trigger: a pending group also commits once its
+        encoded frames reach this many bytes, so huge batches never sit
+        in the buffer just because the record trigger is large.
+    compaction_scheduler:
+        When True the kernel routes every landing operation (flush,
+        merge, compaction) through an incremental scheduler
+        (:mod:`repro.lsm.scheduler`): full MemTables are detached and
+        queued, and their merges execute as bounded work units paced by
+        a token bucket refilled per ingested point.  Off by default —
+        the stop-the-world landing path is untouched.
+    compaction_work_unit:
+        Maximum points (victim + batch) merged per scheduler work unit.
+        Smaller units mean shorter per-append stalls at slightly more
+        staging overhead.
+    compaction_tokens_per_point:
+        Token-bucket refill rate: work points granted per ingested
+        point.  Must exceed the workload's write amplification for the
+        scheduler to keep up without backpressure.
+    compaction_burst:
+        Token-bucket capacity: the largest work burst one append may
+        absorb before pacing kicks in.
+    backpressure_throttle:
+        Landing debt (buffered + queued points) at which the admission
+        controller leaves ``healthy`` for ``throttled`` (each append
+        then also retires a slice of the backlog).  ``None`` derives
+        ``4 * memory_budget``.
+    backpressure_shed:
+        Landing debt at which the controller enters ``shedding``:
+        either a forced full drain (``backpressure_mode="wait"``) or a
+        :class:`~repro.errors.BackpressureError` rejection
+        (``"error"``).  ``None`` derives ``16 * memory_budget``.
+    backpressure_mode:
+        What ``shedding`` does to a write: ``"wait"`` (default) stalls
+        the caller while the backlog drains; ``"error"`` rejects the
+        batch before it reaches the WAL so the caller may retry.
     fault_plan:
         A :class:`repro.faults.FaultPlan` describing deterministic
         faults to inject at the write path's fault sites.  ``None`` (the
@@ -71,6 +115,15 @@ class LsmConfig:
     telemetry_sink: str = "memory"
     wal_path: str | None = None
     wal_fsync: bool = False
+    wal_group_records: int = 1
+    wal_group_bytes: int = 1 << 20
+    compaction_scheduler: bool = False
+    compaction_work_unit: int = 4096
+    compaction_tokens_per_point: float = 4.0
+    compaction_burst: int = 1 << 16
+    backpressure_throttle: int | None = None
+    backpressure_shed: int | None = None
+    backpressure_mode: str = "wait"
     fault_plan: object | None = None
 
     def __post_init__(self) -> None:
@@ -109,6 +162,50 @@ class LsmConfig:
                     f"memory_budget - 1; got seq_capacity={self.seq_capacity} "
                     f"with memory_budget={self.memory_budget}"
                 )
+        if self.wal_group_records < 1:
+            raise ConfigError(
+                "wal_group_records must be >= 1 (1 = per-record commit), "
+                f"got {self.wal_group_records}"
+            )
+        if self.wal_group_bytes < 1:
+            raise ConfigError(
+                f"wal_group_bytes must be >= 1, got {self.wal_group_bytes}"
+            )
+        if self.compaction_work_unit < 1:
+            raise ConfigError(
+                "compaction_work_unit must be >= 1 point, "
+                f"got {self.compaction_work_unit}"
+            )
+        if self.compaction_tokens_per_point <= 0:
+            raise ConfigError(
+                "compaction_tokens_per_point must be positive (a zero-rate "
+                "token bucket would starve every queued merge forever), "
+                f"got {self.compaction_tokens_per_point}"
+            )
+        if self.compaction_burst < 1:
+            raise ConfigError(
+                f"compaction_burst must be >= 1, got {self.compaction_burst}"
+            )
+        for name in ("backpressure_throttle", "backpressure_shed"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigError(f"{name} must be >= 1 point, got {value}")
+        if (
+            self.backpressure_throttle is not None
+            and self.backpressure_shed is not None
+            and self.backpressure_throttle > self.backpressure_shed
+        ):
+            raise ConfigError(
+                "backpressure_throttle must not exceed backpressure_shed "
+                "(the throttled state must engage before shedding); got "
+                f"throttle={self.backpressure_throttle} > "
+                f"shed={self.backpressure_shed}"
+            )
+        if self.backpressure_mode not in ("wait", "error"):
+            raise ConfigError(
+                "backpressure_mode must be 'wait' or 'error', "
+                f"got {self.backpressure_mode!r}"
+            )
 
     @property
     def effective_seq_capacity(self) -> int:
@@ -129,6 +226,36 @@ class LsmConfig:
     def with_telemetry(self, sink: str = "memory") -> "LsmConfig":
         """Return a copy with telemetry enabled and ``sink`` selected."""
         return replace(self, telemetry_enabled=True, telemetry_sink=sink)
+
+    #: Knobs :meth:`with_stability` may override.
+    _STABILITY_FIELDS = frozenset(
+        {
+            "wal_group_records",
+            "wal_group_bytes",
+            "compaction_scheduler",
+            "compaction_work_unit",
+            "compaction_tokens_per_point",
+            "compaction_burst",
+            "backpressure_throttle",
+            "backpressure_shed",
+            "backpressure_mode",
+        }
+    )
+
+    def with_stability(self, **overrides) -> "LsmConfig":
+        """Return a copy with stability knobs overridden.
+
+        Accepts only the group-commit, scheduler and backpressure
+        fields, so a typo fails loudly instead of silently building an
+        unrelated config.
+        """
+        unknown = set(overrides) - self._STABILITY_FIELDS
+        if unknown:
+            raise ConfigError(
+                f"unknown stability knob(s): {sorted(unknown)}; "
+                f"expected a subset of {sorted(self._STABILITY_FIELDS)}"
+            )
+        return replace(self, **overrides)
 
 
 @dataclass(frozen=True)

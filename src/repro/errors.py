@@ -64,6 +64,15 @@ class InvariantViolation(EngineError):
     """A crash-consistency invariant does not hold on the engine state."""
 
 
+class BackpressureError(EngineError):
+    """The engine is shedding load: the write was rejected, not lost.
+
+    Raised by the admission controller (``backpressure_mode="error"``)
+    *before* the batch reaches the WAL or a MemTable, so the caller may
+    safely retry the exact same batch once pressure clears.
+    """
+
+
 class FaultError(ReproError):
     """Base class for errors raised by the fault-injection subsystem."""
 

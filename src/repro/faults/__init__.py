@@ -11,13 +11,16 @@ from :mod:`repro.lsm.base` (engines build their injector from
 ``LsmConfig.fault_plan``) without dragging the whole engine stack in.
 """
 
-from .injector import FAULT_SITES, FaultInjector, FaultPlan
+from .injector import DELAY_SITES, FAULT_SITES, FaultInjector, FaultPlan
 
 __all__ = [
     "FAULT_SITES",
+    "DELAY_SITES",
     "FaultPlan",
     "FaultInjector",
     "CRASH_TEST_ENGINES",
+    "FAULT_KINDS",
+    "OVERLOAD_FAULT_KINDS",
     "CrashCaseResult",
     "CrashTestReport",
     "run_crash_case",
@@ -26,6 +29,8 @@ __all__ = [
 
 _LAZY = (
     "CRASH_TEST_ENGINES",
+    "FAULT_KINDS",
+    "OVERLOAD_FAULT_KINDS",
     "CrashCaseResult",
     "CrashTestReport",
     "run_crash_case",

@@ -38,6 +38,7 @@ from .injector import FaultInjector, FaultPlan
 __all__ = [
     "CRASH_TEST_ENGINES",
     "FAULT_KINDS",
+    "OVERLOAD_FAULT_KINDS",
     "CrashCaseResult",
     "CrashTestReport",
     "run_crash_case",
@@ -57,8 +58,23 @@ CRASH_TEST_ENGINES = (
 #: Fault kinds a case can arm.
 FAULT_KINDS = ("crash_flush", "crash_merge", "torn_wal", "corrupt_checkpoint")
 
+#: Overload fault kinds: a latency fault (fsync delay spike / slow merge)
+#: runs throughout, with group-commit WAL + the incremental compaction
+#: scheduler enabled, and a crash is armed on top — so each case proves
+#: recovery stays exact while the engine is degraded.  Opt-in via the
+#: ``faults`` selector (not part of the default matrix).
+OVERLOAD_FAULT_KINDS = ("fsync_delay", "slow_merge")
+
 #: Small buffers so a few thousand points exercise many flushes/merges.
 _CASE_CONFIG = dict(memory_budget=64, sstable_size=32)
+
+#: Stability overrides an overload case runs under (both the live engine
+#: and the crash-free reference, so their write accounting is comparable).
+_OVERLOAD_STABILITY = dict(
+    wal_group_records=4,
+    compaction_scheduler=True,
+    compaction_work_unit=256,
+)
 
 #: Constructor kwargs per engine key (beyond config/telemetry/faults).
 _ENGINE_KWARGS: dict[str, dict] = {
@@ -183,7 +199,29 @@ def _build_plan(fault: str, seed: int, engine: str, n_appends: int) -> FaultPlan
         )
     if fault == "corrupt_checkpoint":
         return FaultPlan(seed=seed, corrupt_checkpoint=True)
-    raise FaultError(f"unknown fault kind {fault!r}; expected one of {FAULT_KINDS}")
+    if fault in OVERLOAD_FAULT_KINDS:
+        # A latency fault runs throughout, plus a crash late enough to
+        # leave a meaningful durable prefix.  IoTDB-style engines merge
+        # only during background reorganisation, so their merge site
+        # fires far less often than the leveled engines'.
+        occurrence = int(rng.integers(2, 6) if engine == "iotdb" else rng.integers(8, 24))
+        if fault == "fsync_delay":
+            return FaultPlan(
+                seed=seed,
+                fsync_delay_ms=0.5,
+                fsync_delay_every=2,
+                crash_at_merge=occurrence,
+            )
+        return FaultPlan(
+            seed=seed,
+            merge_delay_ms=0.5,
+            merge_delay_every=2,
+            crash_at_merge=occurrence,
+        )
+    raise FaultError(
+        f"unknown fault kind {fault!r}; expected one of "
+        f"{FAULT_KINDS + OVERLOAD_FAULT_KINDS}"
+    )
 
 
 def _build_engine(key: str, config: LsmConfig, faults: FaultInjector | None):
@@ -227,6 +265,9 @@ def run_crash_case(
     wal_path = os.path.join(workdir, f"{stem}.wal")
     checkpoint_path = os.path.join(workdir, f"{stem}.ckpt")
     config = LsmConfig(**_CASE_CONFIG, wal_path=wal_path)
+    overload = fault in OVERLOAD_FAULT_KINDS
+    if overload:
+        config = config.with_stability(**_OVERLOAD_STABILITY)
     plan = _build_plan(fault, seed, engine, n_appends=len(batches))
     live = _build_engine(
         engine, config, FaultInjector(plan)
@@ -296,6 +337,8 @@ def run_crash_case(
     recovered = report.engine
     durable = result.durable_points
     clean_config = LsmConfig(**_CASE_CONFIG)
+    if overload:
+        clean_config = clean_config.with_stability(**_OVERLOAD_STABILITY)
     clean = _build_engine(engine, clean_config, None)
     if adaptive:
         clean.ingest(dataset.tg[:durable], dataset.ta[:durable])
@@ -342,15 +385,26 @@ def _crash_case_task(
     )
 
 
-def _matrix_cells(keys: list[str], seeds: int) -> list[tuple[str, str, int]]:
+def _matrix_cells(
+    keys: list[str], seeds: int, faults: list[str] | None = None
+) -> list[tuple[str, str, int]]:
     """Every (engine, fault, seed) cell, in the serial sweep's order.
 
     The ``corrupt_checkpoint`` kind is skipped for the adaptive engine,
     which never checkpoints (its recovery is always a full WAL replay).
+    ``faults`` narrows (or, with overload kinds, extends) the default
+    :data:`FAULT_KINDS` sweep.
     """
+    kinds = list(faults) if faults else list(FAULT_KINDS)
+    for kind in kinds:
+        if kind not in FAULT_KINDS + OVERLOAD_FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{FAULT_KINDS + OVERLOAD_FAULT_KINDS}"
+            )
     cells = []
     for key in keys:
-        for fault in FAULT_KINDS:
+        for fault in kinds:
             if fault == "corrupt_checkpoint" and key == "adaptive":
                 continue
             for seed in range(seeds):
@@ -365,6 +419,7 @@ def run_crash_test(
     workdir: str | None = None,
     telemetry=None,
     workers: int | None = None,
+    faults: list[str] | None = None,
 ) -> CrashTestReport:
     """Run the full crash-test matrix: engines × fault kinds × seeds.
 
@@ -372,6 +427,8 @@ def run_crash_test(
     ``engine-fault-seed``), so ``workers`` > 1 fans the matrix out over
     a process pool with results identical to the serial sweep; worker
     telemetry is merged into ``telemetry`` (or the process-global bus).
+    ``faults`` selects the fault kinds to sweep — pass overload kinds
+    (:data:`OVERLOAD_FAULT_KINDS`) to crash-test the degraded engine.
     """
     from ..parallel.pool import Task, resolve_workers, run_tasks
 
@@ -381,7 +438,7 @@ def run_crash_test(
             raise FaultError(
                 f"unknown engine {key!r}; expected one of {CRASH_TEST_ENGINES}"
             )
-    cells = _matrix_cells(keys, seeds)
+    cells = _matrix_cells(keys, seeds, faults)
     report = CrashTestReport()
     with tempfile.TemporaryDirectory() as tmp:
         base = workdir if workdir is not None else tmp

@@ -25,16 +25,23 @@ the hot path pays one ``is None`` branch.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..errors import FaultError, InjectedCrash, TransientIOFault
 
-__all__ = ["FAULT_SITES", "FaultPlan", "FaultInjector"]
+__all__ = ["FAULT_SITES", "DELAY_SITES", "FaultPlan", "FaultInjector"]
 
 #: Every fault site an injector may be asked to fire at.
 FAULT_SITES = ("flush", "merge", "wal.append", "checkpoint.write")
+
+#: Sites where the injector can stall instead of fail: ``wal.fsync``
+#: models a device write/fsync latency spike at a WAL group commit,
+#: ``merge`` a slow compaction step.
+DELAY_SITES = ("wal.fsync", "merge")
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,14 @@ class FaultPlan:
     backoff_base_s:
         Base of the exponential backoff (attempt ``k`` sleeps
         ``backoff_base_s * 2**(k-1)``); kept tiny so tests stay fast.
+    fsync_delay_ms / fsync_delay_every:
+        Overload injection: every ``fsync_delay_every``-th WAL group
+        commit stalls for ``fsync_delay_ms`` (an fsync latency spike on
+        the simulated device).  ``fsync_delay_ms = 0`` disables.
+    merge_delay_ms / merge_delay_every:
+        Overload injection: every ``merge_delay_every``-th merge
+        boundary stalls for ``merge_delay_ms`` (a slow compaction).
+        ``merge_delay_ms = 0`` disables.
     """
 
     seed: int = 0
@@ -79,6 +94,10 @@ class FaultPlan:
     transient_merge_faults: int = 0
     max_retries: int = 5
     backoff_base_s: float = 0.0005
+    fsync_delay_ms: float = 0.0
+    fsync_delay_every: int = 1
+    merge_delay_ms: float = 0.0
+    merge_delay_every: int = 1
 
     def __post_init__(self) -> None:
         for name in ("crash_at_flush", "crash_at_merge", "torn_wal_append_at"):
@@ -90,10 +109,14 @@ class FaultPlan:
                 raise FaultError(f"{name} must be non-negative")
         if self.max_retries < 0:
             raise FaultError(f"max_retries must be non-negative, got {self.max_retries}")
-        if self.backoff_base_s < 0:
-            raise FaultError(
-                f"backoff_base_s must be non-negative, got {self.backoff_base_s}"
-            )
+        for name in ("backoff_base_s", "fsync_delay_ms", "merge_delay_ms"):
+            value = getattr(self, name)
+            if value < 0:
+                raise FaultError(f"{name} must be non-negative, got {value}")
+        for name in ("fsync_delay_every", "merge_delay_every"):
+            value = getattr(self, name)
+            if value < 1:
+                raise FaultError(f"{name} must be >= 1, got {value}")
 
     @property
     def any_armed(self) -> bool:
@@ -105,6 +128,18 @@ class FaultPlan:
             or self.corrupt_checkpoint
             or self.transient_flush_faults > 0
             or self.transient_merge_faults > 0
+            or self.fsync_delay_ms > 0
+            or self.merge_delay_ms > 0
+        )
+
+    def delay_for(self, site: str) -> tuple[float, int]:
+        """``(delay_ms, every)`` armed for a :data:`DELAY_SITES` entry."""
+        if site == "wal.fsync":
+            return self.fsync_delay_ms, self.fsync_delay_every
+        if site == "merge":
+            return self.merge_delay_ms, self.merge_delay_every
+        raise FaultError(
+            f"unknown delay site {site!r}; expected one of {DELAY_SITES}"
         )
 
 
@@ -123,6 +158,12 @@ class FaultInjector:
     counts: dict[str, int] = field(default_factory=dict)
     #: Faults actually delivered, as ``(site, kind)`` tuples.
     injected: list[tuple[str, str]] = field(default_factory=list)
+    #: Clock used for every injected stall (retry backoff, delay
+    #: spikes).  Tests inject a no-op recorder here so deterministic
+    #: fault runs consume zero wall-clock time.
+    sleep: Callable[[float], None] = field(default=time.sleep)
+    #: Total seconds this injector has asked :attr:`sleep` to stall.
+    slept_s: float = 0.0
     #: Remaining transient faults per site.
     _transient_left: dict[str, int] = field(default_factory=dict)
 
@@ -166,6 +207,32 @@ class FaultInjector:
                 raise InjectedCrash(
                     f"injected crash mid-append (torn WAL record #{count})"
                 )
+
+    def do_sleep(self, seconds: float) -> None:
+        """Stall through the injectable clock, accounting the time."""
+        if seconds <= 0:
+            return
+        self.sleep(seconds)
+        self.slept_s += seconds
+
+    def maybe_delay(self, site: str) -> float:
+        """Apply an armed overload delay for ``site``; return its ms.
+
+        Counts every occurrence under ``delay:<site>`` (separate from
+        :meth:`fire`'s crash/transient counters) and stalls through the
+        injectable clock on each ``every``-th one.
+        """
+        delay_ms, every = self.plan.delay_for(site)
+        if delay_ms <= 0:
+            return 0.0
+        key = f"delay:{site}"
+        count = self.counts.get(key, 0) + 1
+        self.counts[key] = count
+        if count % every != 0:
+            return 0.0
+        self.injected.append((site, "delay"))
+        self.do_sleep(delay_ms / 1000.0)
+        return delay_ms
 
     def after_checkpoint_write(self, path: str, spare_prefix: int = 0) -> None:
         """Hook fired once a checkpoint file has landed on disk.

@@ -31,6 +31,13 @@ invariants (:mod:`repro.lsm.invariants`).
 """
 
 from .adaptive import AdaptiveEngine
+from .backpressure import (
+    BACKPRESSURE_STATES,
+    HEALTHY,
+    SHEDDING,
+    THROTTLED,
+    AdmissionController,
+)
 from .base import LsmEngine, MemTableView, Snapshot
 from .checkpoint import read_checkpoint, write_checkpoint
 from .compaction import merge_tables_with_batch
@@ -44,6 +51,7 @@ from .multilevel import MultiLevelEngine
 from .points import PointBatch, sort_by_generation
 from .policies import ComposedEngine, StorageKernel, compose_engine
 from .recovery import RecoveryReport, recover_adaptive, recover_engine
+from .scheduler import CompactionScheduler, LandingTask, TokenBucket
 from .separation import SeparationEngine
 from .sstable import SSTable, build_sstables
 from .tiered import TieredEngine
@@ -85,4 +93,12 @@ __all__ = [
     "recover_adaptive",
     "RecoveryReport",
     "InvariantChecker",
+    "CompactionScheduler",
+    "LandingTask",
+    "TokenBucket",
+    "AdmissionController",
+    "BACKPRESSURE_STATES",
+    "HEALTHY",
+    "THROTTLED",
+    "SHEDDING",
 ]

@@ -257,6 +257,11 @@ class AdaptiveEngine(LsmEngine):
 
     # -- durability hooks ------------------------------------------------------
 
+    def _prepare_checkpoint(self) -> None:
+        # The wrapper packs the inner kernel component-wise, so the
+        # inner scheduler must quiesce before anything is serialised.
+        self._engine._prepare_checkpoint()
+
     def _checkpoint_kwargs(self) -> dict:
         return {
             "check_interval": self.check_interval,

@@ -28,7 +28,6 @@ Durability (all opt-in, one branch on the hot path when off):
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -156,7 +155,12 @@ class LsmEngine(abc.ABC):
         #: Write-ahead log; ``None`` (the default) means no durability.
         self._wal: WriteAheadLog | None = (
             WriteAheadLog(
-                config.wal_path, fsync=config.wal_fsync, faults=self.faults
+                config.wal_path,
+                fsync=config.wal_fsync,
+                faults=self.faults,
+                group_records=config.wal_group_records,
+                group_bytes=config.wal_group_bytes,
+                telemetry=self.telemetry,
             )
             if config.wal_path
             else None
@@ -182,9 +186,19 @@ class LsmEngine(abc.ABC):
         arr = self._validate_batch(tg)
         if arr.size == 0:
             return
+        self._admit_batch(arr.size)
         if self._wal is not None:
             self._wal.append(arr, start_id=self._next_id)
         self._ingest_validated(arr)
+
+    def _admit_batch(self, count: int) -> None:
+        """Admission hook fired before the batch becomes durable.
+
+        The base engine admits everything; kernels with backpressure
+        enabled override this to throttle or shed *before* the WAL
+        append, so a rejected batch leaves no durable trace and can be
+        retried verbatim.
+        """
 
     def _validate_batch(self, tg: np.ndarray) -> np.ndarray:
         if self._closed:
@@ -265,6 +279,13 @@ class LsmEngine(abc.ABC):
         while True:
             try:
                 faults.fire(site)
+                if site == "merge":
+                    # Overload injection: an armed slow-merge plan
+                    # stalls here, after the boundary survived.
+                    delayed_ms = faults.maybe_delay("merge")
+                    if delayed_ms > 0 and telemetry.enabled:
+                        telemetry.count("fault.merge_delays")
+                        telemetry.observe("fault.merge_delay_ms", delayed_ms)
                 return
             except InjectedCrash:
                 if telemetry.enabled:
@@ -294,9 +315,9 @@ class LsmEngine(abc.ABC):
                     )
                 if attempt > faults.plan.max_retries:
                     raise
-                backoff = faults.plan.backoff_base_s * 2 ** (attempt - 1)
-                if backoff > 0:
-                    time.sleep(backoff)
+                # Backoff runs on the injector's clock so tests can
+                # substitute a deterministic no-op recorder.
+                faults.do_sleep(faults.plan.backoff_base_s * 2 ** (attempt - 1))
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -310,6 +331,7 @@ class LsmEngine(abc.ABC):
         """
         from .checkpoint import write_checkpoint
 
+        self._prepare_checkpoint()
         stats_meta, arrays = self.stats.to_checkpoint()
         state_meta = self._checkpoint_state(arrays)
         meta = {
@@ -386,6 +408,14 @@ class LsmEngine(abc.ABC):
         engine._arrival_cursor = int(meta["arrival_cursor"])
         engine._restore_state(meta["state"], arrays)
         return engine
+
+    def _prepare_checkpoint(self) -> None:
+        """Bring the engine to a checkpointable quiescent state.
+
+        Runs *before* any state is packed.  Kernels with an incremental
+        scheduler drain their queue here — a checkpoint is a sync point,
+        so packed MemTables/runs always describe settled state.
+        """
 
     def _checkpoint_kwargs(self) -> dict:
         """Extra JSON-able constructor kwargs (size ratios, fanouts...)."""

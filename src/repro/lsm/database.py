@@ -109,6 +109,17 @@ class TimeSeriesDatabase:
         whole database from them.  Analyzer state is *not* durable: a
         recovered database restarts its delay profiles and re-tunes once
         enough new observations accumulate.
+    stability:
+        Optional :meth:`LsmConfig.with_stability` overrides applied to
+        every series engine — group-commit WAL knobs
+        (``wal_group_records``/``wal_group_bytes``), the incremental
+        compaction scheduler (``compaction_scheduler`` and its pacing),
+        and backpressure thresholds/mode.  With
+        ``backpressure_mode="error"``, :meth:`write` raises
+        :class:`~repro.errors.BackpressureError` for a shed batch — the
+        batch left no durable trace and may be retried verbatim.  The
+        overrides are recorded in the manifest so :meth:`recover`
+        rebuilds every series under the same stability configuration.
     """
 
     def __init__(
@@ -118,12 +129,14 @@ class TimeSeriesDatabase:
         auto_tune: bool = True,
         telemetry: Telemetry | None = None,
         durability_dir: str | None = None,
+        stability: dict | None = None,
     ) -> None:
         if memory_budget_per_series < 2:
             raise EngineError("memory_budget_per_series must be >= 2")
+        self.stability = dict(stability) if stability else {}
         self.config = LsmConfig(
             memory_budget=memory_budget_per_series, sstable_size=sstable_size
-        )
+        ).with_stability(**self.stability)
         self.auto_tune = auto_tune
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.durability_dir = durability_dir
@@ -159,7 +172,7 @@ class TimeSeriesDatabase:
             sstable_size=self.config.sstable_size,
             seq_capacity=seq_capacity,
             wal_path=self._wal_path(name),
-        )
+        ).with_stability(**self.stability)
         analyzer = (
             DelayAnalyzer(
                 config.memory_budget,
@@ -238,6 +251,24 @@ class TimeSeriesDatabase:
         """Drain every series' MemTables."""
         for state in self._series.values():
             state.engine.flush_all()
+
+    def sync(self, name: str | None = None) -> None:
+        """Durability barrier: commit + fsync pending group-commit frames.
+
+        With ``wal_group_records > 1`` an acknowledged write may still
+        sit in its engine's in-memory group; this forces every pending
+        frame to disk for one series (or all of them).
+        """
+        states = [self.series(name)] if name is not None else self._series.values()
+        for state in states:
+            if state.engine.wal is not None:
+                state.engine.wal.sync()
+
+    def backpressure_state(self, name: str) -> str:
+        """Current admission state of one series (``healthy`` when
+        backpressure is not configured for it)."""
+        admission = getattr(self.series(name).engine, "admission", None)
+        return admission.state if admission is not None else "healthy"
 
     # -- tuning ------------------------------------------------------------------------
 
@@ -333,6 +364,7 @@ class TimeSeriesDatabase:
             "memory_budget_per_series": self.config.memory_budget,
             "sstable_size": self.config.sstable_size,
             "auto_tune": self.auto_tune,
+            "stability": self.stability,
             "series": {},
         }
         for state in self._series.values():
@@ -386,6 +418,7 @@ class TimeSeriesDatabase:
             auto_tune=manifest["auto_tune"],
             telemetry=telemetry,
             durability_dir=durability_dir,
+            stability=manifest.get("stability") or None,
         )
         for name, entry in manifest["series"].items():
             engine_cls = _engine_registry().get(entry["engine"])
@@ -398,7 +431,7 @@ class TimeSeriesDatabase:
                 sstable_size=manifest["sstable_size"],
                 seq_capacity=entry["seq_capacity"],
                 wal_path=os.path.join(durability_dir, entry["wal"]),
-            )
+            ).with_stability(**db.stability)
             report = recover_engine(
                 engine_cls,
                 wal_path=config.wal_path,

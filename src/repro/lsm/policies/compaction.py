@@ -99,6 +99,36 @@ class CompactionPolicy(abc.ABC):
         merge; defaults to a compaction."""
         self.compact_memtable(memtable)
 
+    def land(self, op: str, memtable: MemTable) -> None:
+        """Dispatch one landing operation by name (``compact`` /
+        ``flush`` / ``merge``) — the synchronous path the kernel uses
+        when no scheduler is configured."""
+        if op == "compact":
+            self.compact_memtable(memtable)
+        elif op == "flush":
+            self.flush_memtable(memtable)
+        elif op == "merge":
+            self.merge_memtable(memtable)
+        else:
+            raise EngineError(f"unknown landing op {op!r}")
+
+    def incremental_steps(self, op, memtable, unit_points):
+        """Generator landing ``memtable`` via ``op`` in bounded work units.
+
+        Yields the cost (points processed) of each unit; the landing is
+        fully committed when the generator is exhausted.  Nothing may
+        mutate until the kernel's fault boundary has fired — the
+        staged-then-committed contract carries over unit by unit.
+
+        This default treats the whole operation as a single unit, which
+        is always correct (the scheduler still defers and paces *between*
+        operations); policies with genuinely divisible merges override
+        it.  ``unit_points`` is the target cost per unit.
+        """
+        cost = max(len(memtable), 1)
+        self.land(op, memtable)
+        yield cost
+
     # -- read views ------------------------------------------------------------
 
     @abc.abstractmethod
@@ -261,6 +291,96 @@ class LeveledSingleRun(CompactionPolicy):
                 tables_written=len(new_tables),
             )
         )
+
+    def incremental_steps(self, op, memtable, unit_points):
+        """Chunked leveled merge: victims are rewritten ``unit_points``
+        at a time, so no single work unit exceeds roughly one unit of
+        merge cost regardless of how much of the run the batch overlaps.
+
+        Unit 1 stages (sorts the MemTable, scans the overlap region);
+        the middle units each merge one chunk of victim tables with the
+        batch slice belonging to its key range; the final unit splices
+        the rewritten segments into the run and commits behind the fault
+        boundary.  Until that commit the run and the MemTable are
+        untouched, so a crash at any unit loses no committed state.
+        """
+        kernel = self.kernel
+        if op == "flush":
+            # Pure appends already cost O(memtable): one unit.
+            cost = max(len(memtable), 1)
+            self.flush_memtable(memtable)
+            yield cost
+            return
+        mem_tg, mem_ids = memtable.sorted_view()
+        region, victims, rewritten = stage_overlap_merge(self.run, mem_tg)
+        if not victims:
+            # No overlap: the landing degenerates to an append-shaped
+            # compaction; one unit, same commit body as the sync path.
+            cost = max(int(mem_tg.size), 1)
+            self.compact_memtable(memtable)
+            yield cost
+            return
+        yield max(int(mem_tg.size), 1)  # staging: sort + overlap scan
+        segment_tg: list[np.ndarray] = []
+        segment_ids: list[np.ndarray] = []
+        batch_pos = 0
+        chunk: list[SSTable] = []
+        chunk_points = 0
+        last_index = len(victims) - 1
+        for index, victim in enumerate(victims):
+            chunk.append(victim)
+            chunk_points += len(victim)
+            if chunk_points < unit_points and index != last_index:
+                continue
+            # Batch points at or below the chunk's upper bound merge
+            # with this chunk; the final chunk takes the whole tail.
+            if index == last_index:
+                cut = int(mem_tg.size)
+            else:
+                cut = int(
+                    np.searchsorted(mem_tg, chunk[-1].max_tg, side="right")
+                )
+            part_tg, part_ids = merge_tables_with_batch(
+                chunk, mem_tg[batch_pos:cut], mem_ids[batch_pos:cut]
+            )
+            segment_tg.append(part_tg)
+            segment_ids.append(part_ids)
+            cost = chunk_points + (cut - batch_pos)
+            batch_pos = cut
+            chunk = []
+            chunk_points = 0
+            yield max(cost, 1)
+        kernel._fault_boundary("merge")
+        with kernel.telemetry.span(
+            "merge", engine=kernel.policy_name, memtable=memtable.name
+        ) as span:
+            merged_tg = np.concatenate(segment_tg)
+            merged_ids = np.concatenate(segment_ids)
+            new_tables = build_sstables(
+                merged_tg, merged_ids, kernel.config.sstable_size
+            )
+            self.run.replace(region, new_tables)
+            memtable.clear()
+            kernel.mark_structure_change()
+            span.set(
+                new_points=int(mem_tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+                incremental=True,
+            )
+            kernel.stats.record_written(merged_ids)
+        kernel.stats.record_event(
+            CompactionEvent(
+                kind="merge",
+                arrival_index=kernel.processed_points,
+                new_points=int(mem_tg.size),
+                rewritten_points=rewritten,
+                tables_rewritten=len(victims),
+                tables_written=len(new_tables),
+            )
+        )
+        yield max(len(new_tables), 1)
 
     def visible_tables(self) -> list[SSTable]:
         return list(self.run.tables)

@@ -63,13 +63,13 @@ class MergeFlush(FlushStrategy):
         kernel = self.kernel
         memtable = kernel.placement.memtable
         if memtable.full:
-            kernel.compaction.compact_memtable(memtable)
+            kernel.land("compact", memtable)
 
     def drain(self) -> None:
         kernel = self.kernel
         memtable = kernel.placement.memtable
         if not memtable.empty:
-            kernel.compaction.compact_memtable(memtable)
+            kernel.land("compact", memtable)
 
 
 class AppendFlush(FlushStrategy):
@@ -81,13 +81,13 @@ class AppendFlush(FlushStrategy):
         kernel = self.kernel
         memtable = kernel.placement.memtable
         if memtable.full:
-            kernel.compaction.flush_memtable(memtable)
+            kernel.land("flush", memtable)
 
     def drain(self) -> None:
         kernel = self.kernel
         memtable = kernel.placement.memtable
         if not memtable.empty:
-            kernel.compaction.flush_memtable(memtable)
+            kernel.land("flush", memtable)
 
 
 class SeparationFlush(FlushStrategy):
@@ -107,20 +107,20 @@ class SeparationFlush(FlushStrategy):
         if placement.nonseq.full:
             self._close_phase()
         elif placement.seq.full:
-            kernel.compaction.flush_memtable(placement.seq)
+            kernel.land("flush", placement.seq)
 
     def _close_phase(self) -> None:
         kernel = self.kernel
         placement = kernel.placement
         if not placement.seq.empty:
-            kernel.compaction.flush_memtable(placement.seq)
-        kernel.compaction.merge_memtable(placement.nonseq)
+            kernel.land("flush", placement.seq)
+        kernel.land("merge", placement.nonseq)
 
     def drain(self) -> None:
         kernel = self.kernel
         placement = kernel.placement
         if not placement.seq.empty:
-            kernel.compaction.flush_memtable(placement.seq)
+            kernel.land("flush", placement.seq)
         if not placement.nonseq.empty:
             self._close_phase()
 
@@ -140,12 +140,12 @@ class IndependentFlush(FlushStrategy):
         kernel = self.kernel
         placement = kernel.placement
         if placement.seq.full:
-            kernel.compaction.flush_memtable(placement.seq)
+            kernel.land("flush", placement.seq)
         if placement.nonseq.full:
-            kernel.compaction.flush_memtable(placement.nonseq)
+            kernel.land("flush", placement.nonseq)
 
     def drain(self) -> None:
         kernel = self.kernel
         for memtable in kernel.placement.memtables():
             if not memtable.empty:
-                kernel.compaction.flush_memtable(memtable)
+                kernel.land("flush", memtable)

@@ -23,8 +23,11 @@ import numpy as np
 from ...config import LsmConfig
 from ...faults.injector import FaultInjector
 from ...obs.telemetry import Telemetry
+from ..backpressure import AdmissionController
 from ..base import LsmEngine, MemTableView, Snapshot
+from ..memtable import MemTable
 from ..pruning import TableIndex
+from ..scheduler import CompactionScheduler
 from ..sstable import SSTable
 from ..wa_tracker import WriteStats
 from .compaction import CompactionPolicy
@@ -71,15 +74,79 @@ class StorageKernel(LsmEngine):
         compaction.bind(self)
         placement.bind(self)
         flush.bind(self)
+        #: Incremental landing scheduler (``None`` = stop-the-world: a
+        #: full MemTable lands synchronously inside the ingest call).
+        self.scheduler: CompactionScheduler | None = (
+            CompactionScheduler(self) if self.config.compaction_scheduler else None
+        )
+        #: Admission controller; active whenever the scheduler is on or
+        #: backpressure thresholds are set explicitly.
+        self.admission: AdmissionController | None = (
+            AdmissionController(self)
+            if (
+                self.config.compaction_scheduler
+                or self.config.backpressure_throttle is not None
+                or self.config.backpressure_shed is not None
+            )
+            else None
+        )
 
     # -- hot path --------------------------------------------------------------
+
+    def _admit_batch(self, count: int) -> None:
+        # Work forced by admission (throttle/drain) counts toward THIS
+        # batch's stall, so the accumulator resets before admission runs.
+        if self.scheduler is not None:
+            self.scheduler.begin_batch()
+        if self.admission is not None:
+            self.admission.admit(count)
 
     def _ingest_batch(self, tg: np.ndarray, ids: np.ndarray) -> None:
         self.compaction.before_ingest(tg.size)
         self.placement.ingest(tg, ids)
+        scheduler = self.scheduler
+        if scheduler is not None:
+            scheduler.bucket.refill(tg.size)
+            scheduler.run()
 
     def _flush_buffers(self) -> None:
         self.flush.drain()
+        if self.scheduler is not None:
+            self.scheduler.drain()
+
+    # -- landing ---------------------------------------------------------------
+
+    def land(self, op: str, memtable: MemTable) -> None:
+        """Land one MemTable through ``op`` — now, or via the scheduler.
+
+        Without a scheduler this is the synchronous (stop-the-world)
+        landing path.  With one, the MemTable is *detached* — the
+        placement policy swaps in a fresh empty buffer so ingest
+        continues immediately — and queued; the scheduler lands it in
+        bounded work units paced by the token bucket.
+        """
+        scheduler = self.scheduler
+        if scheduler is None:
+            self.compaction.land(op, memtable)
+            return
+        self.placement.replace_memtable(memtable)
+        scheduler.submit(op, memtable)
+
+    def watermark(self) -> float:
+        """Effective ``LAST(R).t_g``: disk watermark or any pending flush.
+
+        A queued seq flush must raise the classification watermark
+        exactly as its synchronous counterpart would have — otherwise
+        the split placement would route subsequent in-order arrivals to
+        ``C_nonseq`` and diverge from the stop-the-world engine.
+        """
+        mark = self.compaction.watermark()
+        scheduler = self.scheduler
+        if scheduler is not None:
+            pending = scheduler.pending_watermark()
+            if pending > mark:
+                mark = pending
+        return mark
 
     # -- reading ---------------------------------------------------------------
 
@@ -105,8 +172,16 @@ class StorageKernel(LsmEngine):
         # version: any flush/merge/restore or buffered write produces a
         # fresh key, so serving the cached Snapshot is always safe.  The
         # arrays inside it are frozen (read-only) views, never copies.
+        # With a scheduler, detached-but-uncommitted MemTables are part
+        # of the visible state (their points are nowhere else yet), and
+        # the queue's change_seq keys the cache so submits/completions
+        # invalidate it.
+        scheduler = self.scheduler
+        pending = scheduler.pending_memtables() if scheduler is not None else []
         key = (
             self._structure_epoch,
+            scheduler.change_seq if scheduler is not None else -1,
+            *(memtable.version for memtable in pending),
             *(memtable.version for memtable in self.placement.memtables()),
         )
         cached = self._snapshot_cache
@@ -118,7 +193,7 @@ class StorageKernel(LsmEngine):
                 tg=memtable.peek_tg(),
                 ids=memtable.peek_ids(),
             )
-            for memtable in self.placement.memtables()
+            for memtable in (*pending, *self.placement.memtables())
             if not memtable.empty
         ]
         snapshot = Snapshot(
@@ -138,6 +213,13 @@ class StorageKernel(LsmEngine):
         }
 
     # -- durability hooks ------------------------------------------------------
+
+    def _prepare_checkpoint(self) -> None:
+        # A checkpoint is a sync point: queued landings run to
+        # completion first, so the packed MemTables/runs describe a
+        # quiescent state and restore needs no queue serialisation.
+        if self.scheduler is not None:
+            self.scheduler.drain()
 
     def _checkpoint_state(self, arrays: dict[str, np.ndarray]) -> dict:
         state = self.compaction.pack(arrays)

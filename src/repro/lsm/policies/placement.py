@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ...errors import EngineError
 from ..checkpoint import pack_memtable, unpack_memtable
 from ..memtable import MemTable
 
@@ -51,6 +52,15 @@ class PlacementPolicy(abc.ABC):
         """Every MemTable, in drain/snapshot order."""
 
     @abc.abstractmethod
+    def replace_memtable(self, memtable: MemTable) -> MemTable:
+        """Detach ``memtable``, swapping in a fresh empty twin.
+
+        Used by the scheduled landing path: the detached table keeps its
+        points until the landing commits, while ingest continues into
+        the replacement.  ``memtable`` must be one of this policy's live
+        tables (identity, not equality)."""
+
+    @abc.abstractmethod
     def pack(self, arrays: dict) -> None:
         """Serialise MemTable contents into checkpoint ``arrays``."""
 
@@ -70,11 +80,13 @@ class SinglePlacement(PlacementPolicy):
 
     def ingest(self, tg: np.ndarray, ids: np.ndarray) -> None:
         kernel = self.kernel
-        memtable = self.memtable
         on_full = kernel.flush.on_memtable_full
         pos = 0
         total = tg.size
         while pos < total:
+            # Re-read each iteration: a scheduled landing detaches the
+            # full table and swaps in a fresh one mid-loop.
+            memtable = self.memtable
             take = min(memtable.room, total - pos)
             memtable.extend(tg[pos : pos + take], ids[pos : pos + take])
             pos += take
@@ -84,6 +96,12 @@ class SinglePlacement(PlacementPolicy):
 
     def memtables(self) -> list[MemTable]:
         return [self.memtable]
+
+    def replace_memtable(self, memtable: MemTable) -> MemTable:
+        if memtable is not self.memtable:
+            raise EngineError("replace_memtable: not the live C0 MemTable")
+        self.memtable = MemTable(memtable.capacity, name=memtable.name)
+        return self.memtable
 
     def pack(self, arrays: dict) -> None:
         pack_memtable(arrays, "mem.c0", self.memtable)
@@ -107,13 +125,18 @@ class SplitPlacement(PlacementPolicy):
 
     def ingest(self, tg: np.ndarray, ids: np.ndarray) -> None:
         kernel = self.kernel
-        seq = self.seq
-        nonseq = self.nonseq
-        watermark = kernel.compaction.watermark
+        # The kernel-level watermark folds in pending (queued but not
+        # yet landed) seq flushes, so classification under the scheduler
+        # matches the synchronous engine's.
+        watermark = kernel.watermark
         on_full = kernel.flush.on_memtable_full
         pos = 0
         total = tg.size
         while pos < total:
+            # Re-read each iteration: a scheduled landing detaches full
+            # tables and swaps in fresh ones mid-loop.
+            seq = self.seq
+            nonseq = self.nonseq
             chunk = tg[pos:]
             # The watermark is constant until the next flush/merge, so
             # the whole remaining chunk classifies with one comparison.
@@ -144,6 +167,15 @@ class SplitPlacement(PlacementPolicy):
 
     def memtables(self) -> list[MemTable]:
         return [self.seq, self.nonseq]
+
+    def replace_memtable(self, memtable: MemTable) -> MemTable:
+        if memtable is self.seq:
+            self.seq = MemTable(memtable.capacity, name=memtable.name)
+            return self.seq
+        if memtable is self.nonseq:
+            self.nonseq = MemTable(memtable.capacity, name=memtable.name)
+            return self.nonseq
+        raise EngineError("replace_memtable: not a live split MemTable")
 
     def pack(self, arrays: dict) -> None:
         pack_memtable(arrays, "mem.seq", self.seq)

@@ -18,6 +18,16 @@ Torn tails — a crash mid-append leaving a partial record — are detected
 by :func:`read_wal` (short frame or checksum mismatch) and removed by
 truncating recovery (:meth:`WalReadResult.truncate`): the durable prefix
 is exactly the records that were fully written and checksum clean.
+
+Group commit (``group_records > 1``) changes *when* frames reach the
+file, never *how* they are framed: encoded records accumulate in memory
+and one coalesced write + flush (+ optional fsync) lands the whole group
+once the record-count or byte trigger fires, or on an explicit
+:meth:`WriteAheadLog.sync` barrier.  Because the on-disk byte stream is
+identical to per-record commit, the recovery protocol is unchanged — a
+crash mid-group tears at a record boundary (buffered frames are simply
+lost) or inside the frame being written, and truncating recovery handles
+both exactly as before.
 """
 
 from __future__ import annotations
@@ -31,9 +41,11 @@ from zlib import crc32
 import numpy as np
 
 from ..errors import WalError
+from ..obs.telemetry import NULL_TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
+    from ..obs.telemetry import Telemetry
 
 __all__ = ["WAL_MAGIC", "WalRecord", "WalReadResult", "WriteAheadLog", "read_wal"]
 
@@ -140,6 +152,13 @@ class WriteAheadLog:
     The file is created (with its magic header) on the first append, so
     an engine that never ingests leaves no artefact.  Appending an
     existing file is allowed only when its header matches.
+
+    With ``group_records > 1`` the log runs in group-commit mode:
+    :meth:`append` buffers the encoded frame and a whole group lands
+    with one write + flush (+ fsync when enabled) once ``group_records``
+    records or ``group_bytes`` bytes are pending.  Acknowledged but
+    uncommitted records are lost on a crash — the bounded durability
+    window callers opt into; :meth:`sync` is the explicit barrier.
     """
 
     def __init__(
@@ -147,15 +166,32 @@ class WriteAheadLog:
         path: str,
         fsync: bool = False,
         faults: "FaultInjector | None" = None,
+        group_records: int = 1,
+        group_bytes: int = 1 << 20,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not path:
             raise WalError("WAL needs a non-empty path")
+        if group_records < 1:
+            raise WalError(f"group_records must be >= 1, got {group_records}")
+        if group_bytes < 1:
+            raise WalError(f"group_bytes must be >= 1, got {group_bytes}")
         self.path = path
         self.fsync = fsync
         self.faults = faults
+        self.group_records = group_records
+        self.group_bytes = group_bytes
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._handle: BinaryIO | None = None
-        #: Records appended through this handle.
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        #: Records appended through this handle (acknowledged, possibly
+        #: still pending in the current group).
         self.appended = 0
+        #: Coalesced writes actually issued.
+        self.groups_committed = 0
+        #: Records those writes carried.
+        self.records_committed = 0
 
     # -- writing ---------------------------------------------------------------
 
@@ -164,7 +200,11 @@ class WriteAheadLog:
             fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
             self._handle = open(self.path, "ab")
             if fresh:
+                # Flush the header immediately: group commit may hold
+                # every frame in memory for a while, and a crash in that
+                # window must leave a *valid empty* WAL, not a 0-byte file.
                 self._handle.write(WAL_MAGIC)
+                self._handle.flush()
             else:
                 with open(self.path, "rb") as probe:
                     header = probe.read(len(WAL_MAGIC))
@@ -198,22 +238,79 @@ class WriteAheadLog:
             try:
                 self.faults.fire("wal.append")
             except Exception:
-                # Torn write: persist a strict prefix of the frame, then
-                # let the crash escape.  flush + fsync so the partial
-                # bytes are really "on disk" when recovery scans.
+                # Torn write: the complete frames already accepted into
+                # the pending group reach the disk, then a strict prefix
+                # of the *current* frame lands and the crash escapes.
+                # flush + fsync so the partial bytes are really "on
+                # disk" when recovery scans.
+                self._commit_group()
                 cut = self.faults.torn_prefix_bytes(len(frame))
                 handle.write(frame[:cut])
                 handle.flush()
                 os.fsync(handle.fileno())
                 raise
-        handle.write(frame)
+        self._pending.append(frame)
+        self._pending_bytes += len(frame)
+        self.appended += 1
+        if (
+            len(self._pending) >= self.group_records
+            or self._pending_bytes >= self.group_bytes
+        ):
+            self._commit_group()
+
+    def _commit_group(self) -> None:
+        """Land every pending frame with one write + flush (+ fsync)."""
+        if not self._pending:
+            return
+        handle = self._open()
+        if self.faults is not None:
+            # Overload injection: an armed fsync-delay plan stalls the
+            # commit, modelling a device latency spike.
+            self.faults.maybe_delay("wal.fsync")
+        records = len(self._pending)
+        group_bytes = self._pending_bytes
+        handle.write(b"".join(self._pending))
         handle.flush()
         if self.fsync:
             os.fsync(handle.fileno())
-        self.appended += 1
+        self._pending.clear()
+        self._pending_bytes = 0
+        self.groups_committed += 1
+        self.records_committed += records
+        telemetry = self.telemetry
+        if telemetry.enabled and self.group_records > 1:
+            telemetry.emit(
+                {
+                    "type": "wal.group_commit",
+                    "records": records,
+                    "bytes": group_bytes,
+                }
+            )
+            telemetry.count("wal.group_commits")
+            telemetry.count("wal.group_records", records)
+
+    @property
+    def pending_records(self) -> int:
+        """Acknowledged records not yet committed to the file."""
+        return len(self._pending)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean records per coalesced write (1.0 = per-record commit)."""
+        if self.groups_committed == 0:
+            return 1.0
+        return self.records_committed / self.groups_committed
+
+    def sync(self) -> None:
+        """Explicit durability barrier: commit pending frames and fsync."""
+        self._commit_group()
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
-        """Close the underlying file (idempotent)."""
+        """Commit pending frames and close the file (idempotent)."""
+        self._commit_group()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -231,6 +328,13 @@ def read_wal(path: str) -> WalReadResult:
         return WalReadResult(path=path, records=[], valid_bytes=0, torn_bytes=0)
     with open(path, "rb") as handle:
         blob = handle.read()
+    if len(blob) < len(WAL_MAGIC) and blob == WAL_MAGIC[: len(blob)]:
+        # Nothing (or only part of the header) ever reached the disk —
+        # a crash inside the first group-commit window.  An empty or
+        # torn-header file recovers as an empty WAL.
+        return WalReadResult(
+            path=path, records=[], valid_bytes=0, torn_bytes=len(blob)
+        )
     if len(blob) < len(WAL_MAGIC) or blob[: len(WAL_MAGIC)] != WAL_MAGIC:
         raise WalError(f"{path}: not a repro WAL (bad or missing magic)")
     records: list[WalRecord] = []

@@ -10,7 +10,10 @@ simulator observable without changing its semantics:
   with nested ``span()`` contexts (:mod:`repro.obs.telemetry`);
 * :func:`render_trace_report` — turn a captured JSONL trace back into
   aligned summary tables, the backend of the ``repro telemetry-report``
-  CLI subcommand (:mod:`repro.obs.report`).
+  CLI subcommand (:mod:`repro.obs.report`);
+* :func:`render_stability_report` — the robustness view of a trace:
+  group-commit coalescing, backpressure transitions and writer stalls,
+  the backend of ``repro stability-report`` (:mod:`repro.obs.stability`).
 
 Telemetry is off by default and the disabled bus is a constant-time
 no-op; enable it per engine via
@@ -24,6 +27,11 @@ from .report import (
     load_trace,
     render_trace_report,
     summarize_trace,
+)
+from .stability import (
+    StabilitySummary,
+    render_stability_report,
+    summarize_stability,
 )
 from .sinks import (
     ConsoleSink,
@@ -65,4 +73,7 @@ __all__ = [
     "load_trace",
     "summarize_trace",
     "render_trace_report",
+    "StabilitySummary",
+    "summarize_stability",
+    "render_stability_report",
 ]

@@ -1,0 +1,181 @@
+"""Render a tail-latency stability summary from a JSONL telemetry trace.
+
+``repro stability-report trace.jsonl`` is the operator's view of the
+robustness machinery: how well the group-commit WAL coalesced, how often
+the admission controller changed state or stalled a writer, and how much
+landing work the incremental scheduler executed — all folded from the
+events the engines already publish (``wal.group_commit``,
+``backpressure``, ``stall``, and incremental ``merge`` spans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import _table
+
+__all__ = [
+    "StabilitySummary",
+    "summarize_stability",
+    "render_stability_report",
+]
+
+
+@dataclass
+class StabilitySummary:
+    """Stability-relevant aggregates of one telemetry trace."""
+
+    total_events: int = 0
+    # Group-commit WAL.
+    group_commits: int = 0
+    group_records: int = 0
+    group_bytes: int = 0
+    max_group_records: int = 0
+    # Backpressure state machine.
+    transitions: list[tuple[str, str, int]] = field(default_factory=list)
+    entered: dict[str, int] = field(default_factory=dict)
+    shed_batches: int = 0
+    # Writer stalls (throttled / shedding waits).
+    stall_count: int = 0
+    stall_total_ms: float = 0.0
+    stall_max_ms: float = 0.0
+    stall_work_points: int = 0
+    stalls_by_state: dict[str, int] = field(default_factory=dict)
+    # Incremental landings.
+    incremental_merges: int = 0
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Mean WAL records per coalesced write (1.0 = per-record)."""
+        if self.group_commits == 0:
+            return 1.0
+        return self.group_records / self.group_commits
+
+    @property
+    def stall_mean_ms(self) -> float:
+        return (
+            self.stall_total_ms / self.stall_count
+            if self.stall_count
+            else float("nan")
+        )
+
+
+def summarize_stability(events: list[dict]) -> StabilitySummary:
+    """Fold a list of trace events into a :class:`StabilitySummary`."""
+    summary = StabilitySummary()
+    for event in events:
+        summary.total_events += 1
+        etype = event.get("type", "?")
+        if etype == "wal.group_commit":
+            records = int(event.get("records", 0))
+            summary.group_commits += 1
+            summary.group_records += records
+            summary.group_bytes += int(event.get("bytes", 0))
+            summary.max_group_records = max(summary.max_group_records, records)
+        elif etype == "backpressure":
+            source = str(event.get("from_state", "?"))
+            target = str(event.get("to_state", "?"))
+            summary.transitions.append(
+                (source, target, int(event.get("debt_points", 0)))
+            )
+            summary.entered[target] = summary.entered.get(target, 0) + 1
+        elif etype == "stall":
+            state = str(event.get("state", "?"))
+            duration = float(event.get("duration_ms", 0.0))
+            summary.stall_count += 1
+            summary.stall_total_ms += duration
+            summary.stall_max_ms = max(summary.stall_max_ms, duration)
+            summary.stall_work_points += int(event.get("work_points", 0))
+            summary.stalls_by_state[state] = (
+                summary.stalls_by_state.get(state, 0) + 1
+            )
+        elif etype == "span" and event.get("name") == "merge":
+            if event.get("incremental"):
+                summary.incremental_merges += 1
+    return summary
+
+
+def render_stability_report(events: list[dict], source: str = "") -> str:
+    """The full plain-text stability report for a loaded trace."""
+    summary = summarize_stability(events)
+    title = "== stability report"
+    if source:
+        title += f": {source}"
+    parts = [title, f"{summary.total_events} events"]
+
+    parts.append("")
+    parts.append("group-commit WAL")
+    if summary.group_commits:
+        parts.append(
+            _table(
+                [
+                    "commits",
+                    "records",
+                    "bytes",
+                    "coalescing_ratio",
+                    "max_group_records",
+                ],
+                [
+                    [
+                        summary.group_commits,
+                        summary.group_records,
+                        summary.group_bytes,
+                        summary.coalescing_ratio,
+                        summary.max_group_records,
+                    ]
+                ],
+            )
+        )
+    else:
+        parts.append(
+            "  no coalesced commits (per-record WAL, or trace has no "
+            "wal.group_commit events)"
+        )
+
+    parts.append("")
+    parts.append("backpressure transitions")
+    if summary.transitions:
+        rows = [
+            [f"{source_state} -> {target_state}", debt]
+            for source_state, target_state, debt in summary.transitions
+        ]
+        parts.append(_table(["transition", "debt_points"], rows))
+        entered = ", ".join(
+            f"{state}x{count}" for state, count in sorted(summary.entered.items())
+        )
+        parts.append(f"  states entered: {entered}")
+    else:
+        parts.append("  none (admission controller stayed healthy)")
+
+    parts.append("")
+    parts.append("writer stalls")
+    if summary.stall_count:
+        parts.append(
+            _table(
+                ["count", "total_ms", "mean_ms", "max_ms", "work_points"],
+                [
+                    [
+                        summary.stall_count,
+                        summary.stall_total_ms,
+                        summary.stall_mean_ms,
+                        summary.stall_max_ms,
+                        summary.stall_work_points,
+                    ]
+                ],
+            )
+        )
+        by_state = ", ".join(
+            f"{state}x{count}"
+            for state, count in sorted(summary.stalls_by_state.items())
+        )
+        parts.append(f"  by state: {by_state}")
+    else:
+        parts.append("  none")
+
+    if summary.incremental_merges:
+        parts.append("")
+        parts.append(
+            f"incremental landings: {summary.incremental_merges} "
+            "scheduler-committed merges"
+        )
+    return "\n".join(parts)
