@@ -18,6 +18,7 @@ from repro import (
     LsmConfig,
     SeparationEngine,
     ZetaModel,
+    execute_aggregate_query,
     execute_range_query,
     tune_separation_policy,
 )
@@ -32,6 +33,28 @@ _BURST = 512
 @pytest.fixture(scope="module")
 def stream():
     return generate_synthetic(100_000, dt=_DT, delay=_DELAY, seed=1)
+
+
+@pytest.fixture(scope="module")
+def cold_pair():
+    """A row engine and a cold-converted twin over the same 2M-point stream.
+
+    Large SSTables (32768 points) make the row path's per-table
+    ``np.sum`` the dominant aggregation cost — the work the cold tier's
+    block statistics eliminate.
+    """
+    cold_stream = generate_synthetic(2_000_000, dt=_DT, delay=_DELAY, seed=1)
+    row_engine = ConventionalEngine(LsmConfig(32768, 32768))
+    row_engine.ingest(cold_stream.tg)
+    row_engine.flush_all()
+    cold_engine = ConventionalEngine(
+        LsmConfig(32768, 32768, cold_block_size=256).with_telemetry()
+    )
+    cold_engine.ingest(cold_stream.tg)
+    cold_engine.flush_all()
+    converted = cold_engine.convert_cold()
+    assert converted == len(cold_engine.snapshot().tables)
+    return cold_stream, row_engine, cold_engine
 
 
 def test_perf_conventional_ingest(benchmark, stream):
@@ -213,6 +236,102 @@ def test_perf_bursty_ingest_stall(benchmark, stream):
     )
     baseline.verify()
     paced.verify()
+
+
+def test_perf_agg_cold(benchmark, cold_pair):
+    """Metadata-only aggregation over the cold tier versus row scans.
+
+    Wide windows (80% of the stream span) cover most tables, so the
+    row path pays one ``np.sum`` per covered table while the cold path
+    answers each from its stored block statistics.  The cold pass must
+    be at least 5x faster, produce bitwise-identical aggregates, and
+    actually exercise the statistics fast path (the telemetry counter
+    ``query.blocks_stat_answered`` advances).
+    """
+    cold_stream, row_engine, cold_engine = cold_pair
+    row_snap = row_engine.snapshot()
+    cold_snap = cold_engine.snapshot()
+    lo_all, hi_all = float(cold_stream.tg.min()), float(cold_stream.tg.max())
+    span = hi_all - lo_all
+    rng = np.random.default_rng(0)
+    windows = [
+        (lo, lo + 0.8 * span)
+        for lo in rng.uniform(lo_all, hi_all - 0.8 * span, 32)
+    ]
+
+    def agg_pair():
+        began = time.perf_counter()
+        row_results = [
+            execute_aggregate_query(row_snap, lo, hi) for lo, hi in windows
+        ]
+        row_s = time.perf_counter() - began
+        began = time.perf_counter()
+        cold_results = [
+            execute_aggregate_query(
+                cold_snap, lo, hi, telemetry=cold_engine.telemetry
+            )
+            for lo, hi in windows
+        ]
+        cold_s = time.perf_counter() - began
+        return row_results, cold_results, row_s, cold_s
+
+    row_results, cold_results, row_s, cold_s = benchmark(agg_pair)
+    benchmark.extra_info["row_ms"] = round(row_s * 1e3, 3)
+    benchmark.extra_info["cold_ms"] = round(cold_s * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(row_s / cold_s, 2)
+    assert row_s >= 5 * cold_s, (
+        f"cold aggregation {cold_s * 1e3:.2f}ms not 5x below row "
+        f"{row_s * 1e3:.2f}ms"
+    )
+    for r, c in zip(row_results, cold_results):
+        assert r.count == c.count
+        assert r.total == c.total
+        assert r.minimum == c.minimum
+        assert r.maximum == c.maximum
+        assert c.blocks_stat_answered > 0
+    registry = cold_engine.telemetry.registry
+    assert registry.counter("query.blocks_stat_answered").value > 0
+
+
+def test_perf_cold_scan(benchmark, cold_pair):
+    """Narrow range queries over the cold tier: block-granular reads.
+
+    Results are identical to the row twin, but the columnar tables'
+    per-block zone maps bound the read to the overlapping block span —
+    disk points read (and hence read amplification) must drop.
+    """
+    cold_stream, row_engine, cold_engine = cold_pair
+    row_snap = row_engine.snapshot()
+    cold_snap = cold_engine.snapshot()
+    hi_all = float(cold_stream.tg.max())
+    rng = np.random.default_rng(2)
+    windows = rng.uniform(0.1, 0.9, 64) * hi_all
+
+    def scan():
+        disk_read = 0
+        skipped = 0
+        results = 0
+        for lo in windows:
+            stats = execute_range_query(cold_snap, lo, lo + 5000.0)
+            disk_read += stats.disk_points_read
+            skipped += stats.blocks_skipped
+            results += stats.result_points
+        return disk_read, skipped, results
+
+    cold_disk, cold_skipped, cold_results = benchmark(scan)
+    row_disk = 0
+    row_results = 0
+    for lo in windows:
+        stats = execute_range_query(row_snap, lo, lo + 5000.0)
+        row_disk += stats.disk_points_read
+        row_results += stats.result_points
+    benchmark.extra_info["row_disk_points"] = row_disk
+    benchmark.extra_info["cold_disk_points"] = cold_disk
+    benchmark.extra_info["blocks_skipped"] = cold_skipped
+    assert cold_results == row_results > 0
+    assert cold_skipped > 0
+    # Whole-file reads versus block spans: at least 10x fewer points.
+    assert cold_disk * 10 <= row_disk
 
 
 def test_perf_snapshot_cached(benchmark, stream):

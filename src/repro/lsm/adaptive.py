@@ -249,6 +249,23 @@ class AdaptiveEngine(LsmEngine):
         """Read view of the active engine."""
         return self._engine.snapshot()
 
+    # -- cold tier (delegated to the active engine) ----------------------------
+
+    def convert_cold(
+        self, max_tg: float | None = None, block_size: int | None = None
+    ) -> int:
+        """Convert the active engine's settled tables to columnar."""
+        return self._engine.convert_cold(max_tg=max_tg, block_size=block_size)
+
+    def cold_tier_bytes(self) -> int:
+        """Resident block-statistics bytes of the active engine."""
+        return self._engine.cold_tier_bytes()
+
+    @property
+    def cold_tables_converted(self) -> int:
+        """Tables the active engine has converted to the cold format."""
+        return self._engine.cold_tables_converted
+
     def _sorted_table_groups(self):
         return self._engine._sorted_table_groups()
 

@@ -31,6 +31,7 @@ import time
 from typing import TYPE_CHECKING
 
 from ..errors import BackpressureError
+from .blocks import POINT_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .policies.kernel import StorageKernel
@@ -78,12 +79,21 @@ class AdmissionController:
     # -- state -----------------------------------------------------------------
 
     def debt_points(self) -> int:
-        """Current landing debt: live MemTable points + queued points."""
+        """Current landing debt: live MemTable points + queued points
+        + the point-equivalent of resident cold-tier block statistics.
+
+        Columnar tables pin their block statistics in memory, so that
+        footprint competes with MemTables for the same budget; it is
+        charged here at :data:`~repro.lsm.blocks.POINT_BYTES` per
+        point-equivalent (the kernel caches the byte total per
+        structure epoch, so the per-batch cost is one comparison).
+        """
         kernel = self.kernel
         debt = sum(len(m) for m in kernel.placement.memtables())
         scheduler = kernel.scheduler
         if scheduler is not None:
             debt += scheduler.backlog_points
+        debt += kernel.cold_tier_bytes() // POINT_BYTES
         return debt
 
     def _classify(self, debt: int) -> str:

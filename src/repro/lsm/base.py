@@ -342,6 +342,14 @@ class LsmEngine(abc.ABC):
                 "memory_budget": self.config.memory_budget,
                 "sstable_size": self.config.sstable_size,
                 "seq_capacity": self.config.seq_capacity,
+                # Cold-tier emission knobs ride along so a bare restore
+                # keeps writing the same layout; an explicit ``config``
+                # override wins (like wal_path), and checkpoints written
+                # before the cold tier simply fall back to the defaults.
+                "cold_tier": self.config.cold_tier,
+                "cold_block_size": self.config.cold_block_size,
+                "cold_level": self.config.cold_level,
+                "cold_age": self.config.cold_age,
             },
             "kwargs": self._checkpoint_kwargs(),
             "next_id": self._next_id,

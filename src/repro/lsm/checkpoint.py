@@ -30,6 +30,7 @@ from zlib import crc32
 import numpy as np
 
 from ..errors import CheckpointCorruptError, CheckpointError
+from .blocks import make_storage
 from .level import Run
 from .memtable import MemTable
 from .sstable import SSTable
@@ -132,11 +133,14 @@ def read_checkpoint(path: str) -> tuple[dict, dict[str, np.ndarray]]:
 def pack_tables(
     arrays: dict[str, np.ndarray], prefix: str, tables: list[SSTable]
 ) -> None:
-    """Store ``tables`` as three arrays under ``prefix`` (points + sizes).
+    """Store ``tables`` as four arrays under ``prefix`` (points + layout).
 
     Table boundaries are preserved exactly (``sizes``), not re-derived
     from the configured SSTable size, so a restored run is split
-    identically to the live one.
+    identically to the live one.  ``blocks`` records each table's block
+    format — 0 for row, else the columnar statistics block size — so
+    cold-tier tables restore cold (statistics are recomputed from the
+    points, which is cheaper than serialising them and cannot drift).
     """
     if tables:
         arrays[f"{prefix}.tg"] = np.concatenate([t.tg for t in tables])
@@ -145,10 +149,18 @@ def pack_tables(
         arrays[f"{prefix}.tg"] = np.empty(0, dtype=np.float64)
         arrays[f"{prefix}.ids"] = np.empty(0, dtype=np.int64)
     arrays[f"{prefix}.sizes"] = np.asarray([len(t) for t in tables], dtype=np.int64)
+    arrays[f"{prefix}.blocks"] = np.asarray(
+        [t.storage.block_size for t in tables], dtype=np.int64
+    )
 
 
 def unpack_tables(arrays: dict[str, np.ndarray], prefix: str) -> list[SSTable]:
-    """Rebuild the table list stored by :func:`pack_tables`."""
+    """Rebuild the table list stored by :func:`pack_tables`.
+
+    Checkpoints written before the cold tier lack the ``blocks`` array;
+    every table restores in the row format then, which is exactly what
+    such a checkpoint contained.
+    """
     try:
         tg = np.ascontiguousarray(arrays[f"{prefix}.tg"], dtype=np.float64)
         ids = np.ascontiguousarray(arrays[f"{prefix}.ids"], dtype=np.int64)
@@ -159,11 +171,24 @@ def unpack_tables(arrays: dict[str, np.ndarray], prefix: str) -> list[SSTable]:
         raise CheckpointCorruptError(
             f"{prefix}: table sizes do not cover the stored points"
         )
+    blocks = arrays.get(f"{prefix}.blocks")
+    if blocks is None:
+        blocks = np.zeros(sizes.size, dtype=np.int64)
+    elif blocks.size != sizes.size or np.any(blocks < 0):
+        raise CheckpointCorruptError(
+            f"{prefix}: block-format array does not match the table count"
+        )
     tables = []
     start = 0
-    for size in sizes:
+    for size, block_size in zip(sizes, blocks):
         stop = start + int(size)
-        tables.append(SSTable(tg=tg[start:stop], ids=ids[start:stop]))
+        tables.append(
+            SSTable(
+                storage=make_storage(
+                    tg[start:stop], ids[start:stop], int(block_size)
+                )
+            )
+        )
         start = stop
     return tables
 

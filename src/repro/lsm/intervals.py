@@ -1,0 +1,104 @@
+"""Shared interval / zone-map math for sorted and loose table sets.
+
+Every structure that prunes by generation-time range answers the same
+two questions about ``[lo, hi]``:
+
+* *scalar overlap* — does one ``[min, max]`` interval intersect the
+  query window?  (``SSTable.overlaps``, loose zone-map filters)
+* *span overlap* — which entries of a **sorted, non-overlapping**
+  sequence of intervals intersect the window?  Because the sequence is
+  ordered, the answer is one contiguous ``[start, stop)`` span found by
+  two binary searches (``Run.overlap_slice``, the pruning index's
+  sorted groups, per-block zone maps).
+
+Before this module each call site re-derived the searchsorted
+incantation independently; now :class:`~repro.lsm.sstable.SSTable`,
+:class:`~repro.lsm.level.Run`, :class:`~repro.lsm.pruning.TableIndex`
+and :class:`~repro.lsm.blocks.BlockStats` all share one implementation,
+so the subtle ``side=`` conventions live in exactly one place.
+
+Conventions (all ranges are closed, ``lo <= t <= hi``):
+
+* ``overlap_span(mins, maxs, lo, hi)`` returns the raw
+  ``(start, stop)`` pair; an empty overlap yields ``start >= stop``
+  with ``start`` at the insertion position, which keeps ordering
+  correct for callers that splice at the result.
+* ``covered_span`` returns the sub-span of entries *fully inside* the
+  window (``lo <= min and max <= hi``) — contiguous for the same
+  ordering reason: ``{min >= lo}`` is a suffix and ``{max <= hi}`` a
+  prefix of the sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "interval_overlaps",
+    "overlap_span",
+    "covered_span",
+    "zone_map_hits",
+    "searchsorted_bounds",
+    "count_in_sorted",
+]
+
+
+def interval_overlaps(min_tg: float, max_tg: float, lo: float, hi: float) -> bool:
+    """True when ``[min_tg, max_tg]`` intersects ``[lo, hi]``."""
+    return min_tg <= hi and max_tg >= lo
+
+
+def overlap_span(
+    mins: np.ndarray, maxs: np.ndarray, lo: float, hi: float
+) -> tuple[int, int]:
+    """Contiguous ``[start, stop)`` of sorted intervals intersecting
+    ``[lo, hi]``.
+
+    ``mins``/``maxs`` describe an ordered, non-overlapping interval
+    sequence (boundary ties allowed).  ``start`` is the first entry
+    whose max reaches ``lo``; ``stop`` the first whose min exceeds
+    ``hi``.  Empty overlaps return ``start >= stop`` (``start`` is the
+    insertion position).
+    """
+    start = int(np.searchsorted(maxs, lo, side="left"))
+    stop = int(np.searchsorted(mins, hi, side="right"))
+    return start, stop
+
+
+def covered_span(
+    mins: np.ndarray, maxs: np.ndarray, lo: float, hi: float
+) -> tuple[int, int]:
+    """Contiguous ``[start, stop)`` of sorted intervals fully inside
+    ``[lo, hi]`` (``lo <= min`` and ``max <= hi``).
+
+    Entries with ``min >= lo`` form a suffix and entries with
+    ``max <= hi`` a prefix of the ordered sequence, so their
+    intersection is one span.  Returns ``start >= stop`` when nothing
+    is fully covered.
+    """
+    start = int(np.searchsorted(mins, lo, side="left"))
+    stop = int(np.searchsorted(maxs, hi, side="right"))
+    return start, stop
+
+
+def zone_map_hits(
+    mins: np.ndarray, maxs: np.ndarray, lo: float, hi: float
+) -> np.ndarray:
+    """Indices of (possibly mutually overlapping) intervals that
+    intersect ``[lo, hi]`` — :func:`interval_overlaps` vectorised over
+    a whole zone map at once."""
+    return np.flatnonzero((mins <= hi) & (maxs >= lo))
+
+
+def searchsorted_bounds(values: np.ndarray, lo: float, hi: float) -> tuple[int, int]:
+    """``(left, right)`` index bounds of ``lo <= values <= hi`` in a
+    sorted value array (two binary searches)."""
+    left = int(np.searchsorted(values, lo, side="left"))
+    right = int(np.searchsorted(values, hi, side="right"))
+    return left, right
+
+
+def count_in_sorted(values: np.ndarray, lo: float, hi: float) -> int:
+    """Number of entries of a sorted array inside ``[lo, hi]``."""
+    left, right = searchsorted_bounds(values, lo, hi)
+    return max(right - left, 0)

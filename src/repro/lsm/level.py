@@ -15,6 +15,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from ..errors import EngineError
+from .intervals import overlap_span
 from .sstable import SSTable
 
 __all__ = ["Run"]
@@ -93,10 +94,7 @@ class Run:
             raise EngineError(f"inverted range: [{lo}, {hi}]")
         if not self._tables:
             return slice(0, 0)
-        # First table whose max >= lo.
-        start = int(np.searchsorted(self._maxs, lo, side="left"))
-        # First table whose min > hi.
-        stop = int(np.searchsorted(self._mins, hi, side="right"))
+        start, stop = overlap_span(self._mins, self._maxs, lo, hi)
         if start >= stop:
             # No overlap: the insertion position keeps ordering correct.
             return slice(start, start)

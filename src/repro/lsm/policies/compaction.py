@@ -41,6 +41,7 @@ from ..compaction import (
     merge_tables_with_batch,
     stage_overlap_merge,
 )
+from ..blocks import make_storage
 from ..level import Run
 from ..memtable import MemTable
 from ..sstable import SSTable, build_sstables
@@ -129,6 +130,61 @@ class CompactionPolicy(abc.ABC):
         self.land(op, memtable)
         yield cost
 
+    # -- table emission --------------------------------------------------------
+
+    def emit_tables(
+        self, tg: np.ndarray, ids: np.ndarray, level: int
+    ) -> list[SSTable]:
+        """Build the SSTables of one landing at structure depth ``level``.
+
+        This is the cold tier's write-time hook: with ``cold_tier``
+        enabled, chunks landing at ``level >= cold_level`` — or, under
+        ``cold_age``, chunks whose maximum generation time trails the
+        pre-commit watermark by at least that age — are emitted in the
+        columnar block format.  Chunk boundaries and contents are
+        identical to the row path, so write amplification and event
+        accounting never change; only the layout (and the metadata
+        queries can exploit) does.
+        """
+        kernel = self.kernel
+        config = kernel.config
+        block_size = 0
+        cold_max = math.inf
+        if config.cold_tier:
+            if level >= config.cold_level:
+                block_size = config.cold_block_size
+            elif config.cold_age is not None:
+                mark = self.watermark()
+                if mark > -math.inf:
+                    block_size = config.cold_block_size
+                    cold_max = mark - config.cold_age
+        tables = build_sstables(
+            tg,
+            ids,
+            config.sstable_size,
+            block_size=block_size,
+            cold_max_tg=cold_max,
+        )
+        if block_size:
+            converted = sum(1 for table in tables if table.is_columnar)
+            if converted:
+                kernel.note_cold_conversion(converted)
+        return tables
+
+    def cold_flush_storage(self, tg: np.ndarray, ids: np.ndarray):
+        """Storage for a single level-0 flush file (IoTDB-style L1).
+
+        Honours ``cold_level == 0`` (everything columnar) but never
+        applies the age cutoff — a flush file is by definition the
+        newest data.
+        """
+        config = self.kernel.config
+        cold = config.cold_tier and config.cold_level == 0
+        storage = make_storage(tg, ids, config.cold_block_size if cold else 0)
+        if cold:
+            self.kernel.note_cold_conversion(1)
+        return storage
+
     # -- read views ------------------------------------------------------------
 
     @abc.abstractmethod
@@ -194,9 +250,7 @@ class LeveledSingleRun(CompactionPolicy):
         kernel._fault_boundary("merge" if victims else "flush")
         with kernel.telemetry.span("compaction", engine=kernel.policy_name) as span:
             merged_tg, merged_ids = merge_tables_with_batch(victims, mem_tg, mem_ids)
-            new_tables = build_sstables(
-                merged_tg, merged_ids, kernel.config.sstable_size
-            )
+            new_tables = self.emit_tables(merged_tg, merged_ids, level=0)
             self.run.replace(region, new_tables)
             memtable.clear()
             kernel.mark_structure_change()
@@ -235,7 +289,7 @@ class LeveledSingleRun(CompactionPolicy):
         with kernel.telemetry.span(
             "flush", engine=kernel.policy_name, memtable=memtable.name
         ) as span:
-            tables = build_sstables(tg, ids, kernel.config.sstable_size)
+            tables = self.emit_tables(tg, ids, level=0)
             self.run.append(tables)
             memtable.clear()
             kernel.mark_structure_change()
@@ -268,9 +322,7 @@ class LeveledSingleRun(CompactionPolicy):
             "merge", engine=kernel.policy_name, memtable=memtable.name
         ) as span:
             merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-            new_tables = build_sstables(
-                merged_tg, merged_ids, kernel.config.sstable_size
-            )
+            new_tables = self.emit_tables(merged_tg, merged_ids, level=0)
             self.run.replace(region, new_tables)
             memtable.clear()
             kernel.mark_structure_change()
@@ -356,9 +408,7 @@ class LeveledSingleRun(CompactionPolicy):
         ) as span:
             merged_tg = np.concatenate(segment_tg)
             merged_ids = np.concatenate(segment_ids)
-            new_tables = build_sstables(
-                merged_tg, merged_ids, kernel.config.sstable_size
-            )
+            new_tables = self.emit_tables(merged_tg, merged_ids, level=0)
             self.run.replace(region, new_tables)
             memtable.clear()
             kernel.mark_structure_change()
@@ -459,9 +509,7 @@ class MultiLevelCascade(CompactionPolicy):
             "compaction", engine=kernel.policy_name, level=level
         ) as span:
             merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-            new_tables = build_sstables(
-                merged_tg, merged_ids, kernel.config.sstable_size
-            )
+            new_tables = self.emit_tables(merged_tg, merged_ids, level=level)
             run.replace(region, new_tables)
             if source_memtable is not None:
                 source_memtable.clear()
@@ -540,7 +588,7 @@ class SizeTiered(CompactionPolicy):
         tg, ids = memtable.sorted_view()
         kernel._fault_boundary("flush")
         with kernel.telemetry.span("flush", engine=kernel.policy_name) as span:
-            run = build_sstables(tg, ids, kernel.config.sstable_size)
+            run = self.emit_tables(tg, ids, level=0)
             self.levels[0].append(run)
             memtable.clear()
             kernel.mark_structure_change()
@@ -574,7 +622,7 @@ class SizeTiered(CompactionPolicy):
             with kernel.telemetry.span(
                 "merge", engine=kernel.policy_name, level=level
             ) as span:
-                merged = build_sstables(tg, ids, kernel.config.sstable_size)
+                merged = self.emit_tables(tg, ids, level=level + 1)
                 self.levels[level] = []
                 self.levels[level + 1].append(merged)
                 kernel.mark_structure_change()
@@ -689,7 +737,7 @@ class IoTDBTwoSpace(CompactionPolicy):
         with kernel.telemetry.span(
             "flush", engine=kernel.policy_name, memtable=memtable.name
         ) as span:
-            table = SSTable(tg=tg, ids=ids)
+            table = SSTable(storage=self.cold_flush_storage(tg, ids))
             self.l1_files.append(table)
             memtable.clear()
             kernel.mark_structure_change()
@@ -721,9 +769,7 @@ class IoTDBTwoSpace(CompactionPolicy):
             "merge", engine=kernel.policy_name, level="L1->L2"
         ) as span:
             merged_tg, merged_ids = merge_tables_with_batch(victims, tg, ids)
-            new_tables = build_sstables(
-                merged_tg, merged_ids, kernel.config.sstable_size
-            )
+            new_tables = self.emit_tables(merged_tg, merged_ids, level=1)
             self.l2.replace(region, new_tables)
             self.l1_files = []
             kernel.mark_structure_change()

@@ -18,6 +18,8 @@ and byte-layout-compatible with the monolithic engines it replaced.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ...config import LsmConfig
@@ -68,6 +70,11 @@ class StorageKernel(LsmEngine):
         self._structure_epoch = 0
         self._index_cache: tuple[int, TableIndex] | None = None
         self._snapshot_cache: tuple[tuple[int, ...], Snapshot] | None = None
+        #: Columnar tables emitted or converted over this kernel's life.
+        self.cold_tables_converted = 0
+        # Resident cold-tier statistics bytes, cached per structure
+        # epoch: the admission controller asks on every batch.
+        self._cold_bytes_cache: tuple[int, int] | None = None
         # Policies see the kernel (config, stats, telemetry, fault
         # boundary) through one back-reference each; binding order lets
         # placement/flush read compaction state (the watermark) safely.
@@ -147,6 +154,73 @@ class StorageKernel(LsmEngine):
             if pending > mark:
                 mark = pending
         return mark
+
+    # -- cold tier -------------------------------------------------------------
+
+    def note_cold_conversion(self, tables: int) -> None:
+        """Account ``tables`` newly columnar tables (emitted or converted)."""
+        self.cold_tables_converted += tables
+        if self.telemetry.enabled:
+            self.telemetry.count("cold_tier.tables_converted", tables)
+
+    def cold_tier_bytes(self) -> int:
+        """Resident bytes of columnar block statistics across all
+        visible tables (cached per structure epoch).
+
+        This is the cold tier's in-memory footprint: the point arrays
+        model disk, but block statistics are pinned in RAM for pruning,
+        so the backpressure debt model charges for them.  Publishes the
+        ``cold_tier.resident_bytes`` gauge on each recomputation.
+        """
+        cached = self._cold_bytes_cache
+        if cached is not None and cached[0] == self._structure_epoch:
+            return cached[1]
+        total = sum(
+            table.stats_nbytes for table in self.compaction.visible_tables()
+        )
+        self._cold_bytes_cache = (self._structure_epoch, total)
+        if self.telemetry.enabled:
+            self.telemetry.gauge("cold_tier.resident_bytes", float(total))
+        return total
+
+    def convert_cold(
+        self,
+        max_tg: float | None = None,
+        block_size: int | None = None,
+    ) -> int:
+        """Convert visible row tables at/below the cold cutoff to the
+        columnar format in place; returns how many were converted.
+
+        This is the explicit (operator/maintenance) conversion path —
+        write-time emission via :meth:`CompactionPolicy.emit_tables`
+        needs no call here.  The conversion is layout-only: contents,
+        write amplification and the event log are untouched; only block
+        statistics are added.  ``max_tg`` defaults to the ``cold_age``
+        cutoff below the watermark when configured, else everything;
+        ``block_size`` defaults to ``config.cold_block_size``.
+        """
+        config = self.config
+        if block_size is None:
+            block_size = config.cold_block_size
+        if max_tg is None:
+            if config.cold_age is not None:
+                mark = self.compaction.watermark()
+                max_tg = mark - config.cold_age if mark > -math.inf else -math.inf
+            else:
+                max_tg = math.inf
+        converted = 0
+        for table in self.compaction.visible_tables():
+            if not table.is_columnar and table.max_tg <= max_tg:
+                table.convert_to_columnar(block_size)
+                converted += 1
+        if converted:
+            self.note_cold_conversion(converted)
+            # The layout changed even though the logical structure did
+            # not: bump the epoch so the cold-bytes cache (and any
+            # index that may later carry block metadata) refreshes.
+            self.mark_structure_change()
+            self.cold_tier_bytes()
+        return converted
 
     # -- reading ---------------------------------------------------------------
 

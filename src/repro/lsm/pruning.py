@@ -15,6 +15,12 @@ read-amplification instability Luo & Carey analyse for LSM read paths.
   ``min``/``max`` arrays — still one numpy comparison instead of a
   Python-level walk.
 
+Below table granularity the same zone-map idea continues into the
+tables themselves: cold-tier columnar tables carry per-block
+``min``/``max`` statistics (:class:`~repro.lsm.blocks.BlockStats`)
+which reuse the identical interval math (:mod:`repro.lsm.intervals`)
+to prune block spans inside a touched table.
+
 Groups are recorded in snapshot order and lookups preserve that order,
 so a pruned scan visits exactly the tables a full scan would have
 visited, in the same sequence — collected rows (stable ties included)
@@ -28,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import QueryError
+from .intervals import overlap_span, zone_map_hits
 from .sstable import SSTable
 
 __all__ = ["TableIndex"]
@@ -44,10 +51,9 @@ class _SortedGroup:
         self._maxs = np.asarray([t.max_tg for t in tables], dtype=np.float64)
 
     def overlapping(self, lo: float, hi: float) -> list[SSTable]:
-        # First table whose max >= lo .. first table whose min > hi:
-        # identical to Run.overlap_slice, hence to a linear overlap scan.
-        start = int(np.searchsorted(self._maxs, lo, side="left"))
-        stop = int(np.searchsorted(self._mins, hi, side="right"))
+        # One contiguous span — identical to Run.overlap_slice (both
+        # delegate to intervals.overlap_span), hence to a linear scan.
+        start, stop = overlap_span(self._mins, self._maxs, lo, hi)
         if start >= stop:
             return []
         return self.tables[start:stop]
@@ -65,7 +71,7 @@ class _LooseGroup:
 
     def overlapping(self, lo: float, hi: float) -> list[SSTable]:
         # Exactly SSTable.overlaps, evaluated for the whole group at once.
-        hits = np.flatnonzero((self._mins <= hi) & (self._maxs >= lo))
+        hits = zone_map_hits(self._mins, self._maxs, lo, hi)
         if hits.size == 0:
             return []
         tables = self.tables

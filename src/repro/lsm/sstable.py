@@ -1,12 +1,24 @@
-"""Immutable SSTables: sorted, bounded slabs of points on simulated disk."""
+"""Immutable SSTables: sorted, bounded slabs of points on simulated disk.
+
+An SSTable is a thin handle over a pluggable block format
+(:mod:`repro.lsm.blocks`): the default :class:`~repro.lsm.blocks.
+RowStorage` is bit-identical to the historical two-array layout, while
+:class:`~repro.lsm.blocks.ColumnarStorage` adds the cold tier's typed
+column blocks with per-block statistics.  The table's logical content
+— ``tg``, ``ids``, range metadata, overlap/count queries — is the same
+through either format; only metadata (and what queries can skip) differ.
+"""
 
 from __future__ import annotations
 
 import itertools
+import math
 
 import numpy as np
 
 from ..errors import EngineError
+from .blocks import BlockStats, ColumnarStorage, RowStorage, make_storage
+from .intervals import count_in_sorted, interval_overlaps
 from .points import PointBatch
 
 __all__ = ["SSTable", "build_sstables"]
@@ -21,11 +33,28 @@ class SSTable:
     (Section I-A).  Instances are identified by a monotonically
     increasing sequence number so query-layer bookkeeping (files touched,
     seeks) can distinguish physical files.
+
+    The point data lives in :attr:`storage` — a row or columnar block
+    format.  Logical content is immutable; :meth:`convert_to_columnar`
+    may swap the *layout* in place (same points, added statistics), the
+    cold tier's lifecycle-driven row→column conversion.
     """
 
-    __slots__ = ("tg", "ids", "table_id", "min_tg", "max_tg")
+    __slots__ = ("storage", "table_id", "min_tg", "max_tg")
 
-    def __init__(self, tg: np.ndarray, ids: np.ndarray) -> None:
+    def __init__(
+        self,
+        tg: np.ndarray | None = None,
+        ids: np.ndarray | None = None,
+        *,
+        storage: RowStorage | ColumnarStorage | None = None,
+    ) -> None:
+        if storage is None:
+            storage = RowStorage(tg, ids)
+        elif tg is not None or ids is not None:
+            raise EngineError("pass either (tg, ids) or storage, not both")
+        tg = storage.tg
+        ids = storage.ids
         if tg.size == 0:
             raise EngineError("an SSTable cannot be empty")
         if tg.shape != ids.shape:
@@ -34,8 +63,7 @@ class SSTable:
             )
         if tg.size > 1 and np.any(np.diff(tg) < 0):
             raise EngineError("SSTable points must be sorted by generation time")
-        self.tg = tg
-        self.ids = ids
+        self.storage = storage
         self.table_id = next(_SEQUENCE)
         # Range metadata sits on the query hot path (zone maps, pruning
         # index construction); materialise it once at build time.
@@ -44,39 +72,104 @@ class SSTable:
         #: Latest generation time in the table.
         self.max_tg = float(tg[-1])
 
+    # -- block-format views ----------------------------------------------------
+
+    @property
+    def tg(self) -> np.ndarray:
+        """Sorted generation times (contiguous, whatever the format)."""
+        return self.storage.tg
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Arrival ids aligned with :attr:`tg`."""
+        return self.storage.ids
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when this table uses the cold-tier columnar format."""
+        return self.storage.format == "columnar"
+
+    @property
+    def block_stats(self) -> BlockStats | None:
+        """Per-block statistics (``None`` for row tables)."""
+        return self.storage.stats
+
+    @property
+    def stats_nbytes(self) -> int:
+        """Resident bytes of block statistics (0 for row tables)."""
+        return self.storage.stats_nbytes
+
+    def convert_to_columnar(self, block_size: int) -> bool:
+        """Swap a row table to the columnar format in place.
+
+        Layout-only: the point arrays are reused as the column base, so
+        content (and everything derived from it) is bit-identical.
+        Returns True when a conversion happened, False when the table
+        was already columnar.  Engines must invalidate structure caches
+        (pruning index) afterwards — see ``StorageKernel.convert_cold``.
+        """
+        if block_size < 1:
+            raise EngineError(f"block_size must be >= 1, got {block_size}")
+        if self.is_columnar:
+            return False
+        self.storage = ColumnarStorage(self.storage.tg, self.storage.ids, block_size)
+        return True
+
+    # -- queries ---------------------------------------------------------------
+
     def __len__(self) -> int:
-        return int(self.tg.size)
+        return int(self.storage.tg.size)
 
     def overlaps(self, lo: float, hi: float) -> bool:
         """True when the table's range intersects ``[lo, hi]``."""
-        return self.min_tg <= hi and self.max_tg >= lo
+        return interval_overlaps(self.min_tg, self.max_tg, lo, hi)
 
     def count_in_range(self, lo: float, hi: float) -> int:
         """Number of points with ``lo <= tg <= hi`` (binary search)."""
-        left = int(np.searchsorted(self.tg, lo, side="left"))
-        right = int(np.searchsorted(self.tg, hi, side="right"))
-        return max(right - left, 0)
+        return count_in_sorted(self.storage.tg, lo, hi)
 
     def as_batch(self) -> PointBatch:
         """View the table contents as a batch."""
-        return PointBatch(tg=self.tg, ids=self.ids)
+        return PointBatch(tg=self.storage.tg, ids=self.storage.ids)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SSTable(id={self.table_id}, n={len(self)}, "
+            f"format={self.storage.format}, "
             f"range=[{self.min_tg:g}, {self.max_tg:g}])"
         )
 
 
 def build_sstables(
-    tg: np.ndarray, ids: np.ndarray, sstable_size: int
+    tg: np.ndarray,
+    ids: np.ndarray,
+    sstable_size: int,
+    block_size: int = 0,
+    cold_max_tg: float = math.inf,
 ) -> list[SSTable]:
     """Split sorted ``(tg, ids)`` arrays into SSTables of at most
-    ``sstable_size`` points each (the last one may be smaller)."""
+    ``sstable_size`` points each (the last one may be smaller).
+
+    With ``block_size > 0`` the cold-tier format kicks in: every chunk
+    whose maximum generation time is at or below ``cold_max_tg`` is
+    built columnar with ``block_size`` statistics blocks (the default
+    cutoff of ``+inf`` makes every chunk columnar).  Chunk boundaries —
+    and therefore contents, write amplification and event accounting —
+    are identical either way; only the layout differs.
+    """
     if sstable_size < 1:
         raise EngineError(f"sstable_size must be >= 1, got {sstable_size}")
     tables = []
     for start in range(0, tg.size, sstable_size):
         stop = start + sstable_size
-        tables.append(SSTable(tg=tg[start:stop], ids=ids[start:stop]))
+        chunk_tg = tg[start:stop]
+        chunk_ids = ids[start:stop]
+        cold = block_size > 0 and float(chunk_tg[-1]) <= cold_max_tg
+        tables.append(
+            SSTable(
+                storage=make_storage(
+                    chunk_tg, chunk_ids, block_size if cold else 0
+                )
+            )
+        )
     return tables

@@ -7,6 +7,22 @@ consulted — but aggregates over *generation time* can exploit SSTable
 ordering: a table fully inside the window contributes its point count
 and min/max bounds without reading its interior.
 
+The cold tier goes one step further.  A columnar table fully inside the
+window is answered **entirely from block statistics**: its count,
+min/max *and* sum come from metadata recorded at build time, so the
+point arrays are never touched (``blocks_stat_answered`` counts the
+blocks so answered).  A columnar table that straddles a boundary falls
+back to the row path's binary-searched slice — its per-block zone maps
+still report how many blocks the window excludes (``blocks_skipped``).
+
+Bit-identity: the stored table-level ``sum_tg`` is the float produced
+by one ``np.sum`` over the whole column — exactly what the row path's
+``table.tg.sum()`` computes — and straddling tables reuse the row
+slice math verbatim, so every aggregate over a cold tier is bitwise
+equal to the same aggregate over row tables (numpy's pairwise
+summation forbids recombining *partial* block sums; see
+:mod:`repro.lsm.blocks`).
+
 Engines in this package do not materialise values (WA does not depend on
 them), so aggregates are computed over generation timestamps themselves;
 the pruning logic is identical for any per-table summarised value.
@@ -21,6 +37,8 @@ import numpy as np
 
 from ..errors import QueryError
 from ..lsm.base import Snapshot
+from ..lsm.intervals import searchsorted_bounds
+from ..obs.telemetry import Telemetry
 
 __all__ = ["AggregateResult", "execute_aggregate_query"]
 
@@ -39,6 +57,12 @@ class AggregateResult:
     tables_scanned: int
     #: Tables answered from their metadata alone (fully inside range).
     tables_pruned: int
+    #: Columnar blocks whose contribution came from block statistics
+    #: without touching the point arrays (cold-tier fast path).
+    blocks_stat_answered: int = 0
+    #: Columnar blocks excluded by per-block zone maps in straddling
+    #: tables (their points were never part of the slice arithmetic).
+    blocks_skipped: int = 0
 
     @property
     def mean(self) -> float:
@@ -49,13 +73,19 @@ class AggregateResult:
 
 
 def execute_aggregate_query(
-    snapshot: Snapshot, lo: float, hi: float
+    snapshot: Snapshot,
+    lo: float,
+    hi: float,
+    telemetry: Telemetry | None = None,
 ) -> AggregateResult:
     """Aggregate ``lo <= t_g <= hi`` with metadata pruning.
 
-    Tables entirely inside the range contribute without a scan; only
-    boundary-straddling tables (at most two per sorted run) and the
-    MemTables are read point-by-point.
+    Tables entirely inside the range contribute without a scan — from
+    block statistics alone when columnar; only boundary-straddling
+    tables (at most two per sorted run) and the MemTables are read
+    point-by-point.  With a ``telemetry`` bus attached the cold-tier
+    counters ``query.blocks_stat_answered`` / ``query.blocks_skipped``
+    and ``query.aggregate_count`` are incremented per query.
     """
     if hi < lo:
         raise QueryError(f"inverted query range: [{lo}, {hi}]")
@@ -65,21 +95,34 @@ def execute_aggregate_query(
     total = 0.0
     scanned = 0
     pruned = 0
+    blocks_stat_answered = 0
+    blocks_skipped = 0
     # Non-overlapping tables contribute nothing, so the indexed lookup
     # (when the engine attached one) changes only the cost of finding
     # the overlap set, never the aggregate values.
     for table in snapshot.overlapping_tables(lo, hi):
+        stats = table.block_stats
         if lo <= table.min_tg and table.max_tg <= hi:
-            # Fully covered: metadata + precomputable sum suffice.
+            # Fully covered: metadata suffices.  Row tables still pay
+            # one array sum; columnar tables answer from statistics.
             pruned += 1
             count += len(table)
             minimum = min(minimum, table.min_tg)
             maximum = max(maximum, table.max_tg)
-            total += float(table.tg.sum())
+            if stats is not None:
+                total += table.storage.sum_tg
+                blocks_stat_answered += stats.nblocks
+            else:
+                total += float(table.tg.sum())
             continue
         scanned += 1
-        left = int(np.searchsorted(table.tg, lo, side="left"))
-        right = int(np.searchsorted(table.tg, hi, side="right"))
+        if stats is not None:
+            # Per-block zone maps: account for the blocks the window
+            # excludes; the contribution itself reuses the row slice
+            # math below so the result stays bitwise identical.
+            b0, b1 = stats.overlapping(lo, hi)
+            blocks_skipped += stats.nblocks - (b1 - b0)
+        left, right = searchsorted_bounds(table.tg, lo, hi)
         if right > left:
             inside = table.tg[left:right]
             count += inside.size
@@ -97,6 +140,10 @@ def execute_aggregate_query(
     if count == 0:
         minimum = math.nan
         maximum = math.nan
+    if telemetry is not None and telemetry.enabled:
+        telemetry.count("query.aggregate_count")
+        telemetry.count("query.blocks_stat_answered", blocks_stat_answered)
+        telemetry.count("query.blocks_skipped", blocks_skipped)
     return AggregateResult(
         lo=lo,
         hi=hi,
@@ -106,4 +153,6 @@ def execute_aggregate_query(
         total=total,
         tables_scanned=scanned,
         tables_pruned=pruned,
+        blocks_stat_answered=blocks_stat_answered,
+        blocks_skipped=blocks_skipped,
     )

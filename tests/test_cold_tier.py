@@ -1,0 +1,504 @@
+"""Cold-tier conformance: the columnar block format must be invisible.
+
+The contract of :mod:`repro.lsm.blocks` is that storage layout is a
+pure representation choice — switching a table (or a whole engine) to
+the columnar format may change *cost accounting* (blocks skipped, disk
+points read) but never *results* or *write accounting*.  This suite
+pins that contract across every first-class engine and the two composed
+policy triples:
+
+* range queries and aggregates are bitwise identical between a row
+  engine and a cold-configured twin at every lifecycle stage
+  (mid-ingest, pre-flush, post-flush, post-conversion),
+* write amplification, per-point write counts and the compaction event
+  log are unchanged by cold emission,
+* columnar tables survive checkpoint/restore (and crash recovery with
+  an injected-fault corrupted checkpoint) with their format intact,
+* cold statistics memory is visible to the backpressure debt model.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveEngine,
+    ConventionalEngine,
+    IoTDBStyleEngine,
+    LsmConfig,
+    MultiLevelEngine,
+    SeparationEngine,
+    TieredEngine,
+    execute_aggregate_query,
+    execute_range_query,
+    recover_engine,
+)
+from repro.errors import ConfigError, EngineError
+from repro.faults import FaultInjector, FaultPlan
+from repro.lsm.backpressure import AdmissionController
+from repro.lsm.blocks import (
+    BLOCK_STAT_BYTES,
+    POINT_BYTES,
+    BlockStats,
+    ColumnarStorage,
+    RowStorage,
+    make_storage,
+)
+from repro.lsm.checkpoint import pack_tables, unpack_tables
+from repro.lsm.policies.compose import compose_engine
+from repro.lsm.sstable import SSTable, build_sstables
+from repro.workloads import TABLE_II
+
+#: Mirrors the conformance harness geometry (small tables, real
+#: cascades) with the cold twin differing *only* in layout knobs.
+CONFIG_ROW = LsmConfig(memory_budget=64, sstable_size=32)
+#: ``level=0`` makes every landing columnar, so cold emission is
+#: exercised on engines whose structure never leaves level 0.
+CONFIG_COLD = CONFIG_ROW.with_cold_tier(block_size=8, level=0)
+
+N_POINTS = 4000
+CHUNK = 937
+
+WORKLOADS = ("M1", "M8")
+
+
+def _factories(cfg):
+    """Engine key -> zero-state factory over ``cfg`` (9 conformance keys)."""
+    return {
+        "conventional": lambda: ConventionalEngine(cfg),
+        "separation": lambda: SeparationEngine(cfg),
+        "iotdb_conventional": lambda: IoTDBStyleEngine(
+            cfg, policy="conventional", l1_file_limit=4
+        ),
+        "iotdb_separation": lambda: IoTDBStyleEngine(
+            cfg, policy="separation", l1_file_limit=4
+        ),
+        "multilevel": lambda: MultiLevelEngine(cfg, size_ratio=4, max_levels=4),
+        "tiered": lambda: TieredEngine(cfg, tier_fanout=3, max_levels=4),
+        "adaptive": lambda: AdaptiveEngine(cfg, check_interval=512),
+        "composed_split_tiered": lambda: compose_engine(
+            "split", compaction="tiered", config=cfg
+        ),
+        "composed_split_multilevel": lambda: compose_engine(
+            "split", compaction="multilevel", config=cfg
+        ),
+    }
+
+
+ENGINE_KEYS = sorted(_factories(CONFIG_ROW))
+
+
+def _dataset(workload):
+    return TABLE_II[workload].build(n_points=N_POINTS, seed=3)
+
+
+def _ingest(engine, dataset, lo, hi):
+    adaptive = isinstance(engine, AdaptiveEngine)
+    for pos in range(lo, hi, CHUNK):
+        stop = min(pos + CHUNK, hi)
+        if adaptive:
+            engine.ingest(dataset.tg[pos:stop], dataset.ta[pos:stop])
+        else:
+            engine.ingest(dataset.tg[pos:stop])
+
+
+def _windows(dataset):
+    """Deterministic probe windows: covering, interior, narrow, empty."""
+    lo, hi = float(dataset.tg.min()), float(dataset.tg.max())
+    span = hi - lo
+    return [
+        (lo, hi),
+        (lo + 0.2 * span, lo + 0.8 * span),
+        (lo + 0.45 * span, lo + 0.55 * span),
+        (hi + span, hi + 2 * span),
+    ]
+
+
+def _assert_reads_identical(row_engine, cold_engine, dataset):
+    """Every query observable the user can see is bitwise equal."""
+    row_snap, cold_snap = row_engine.snapshot(), cold_engine.snapshot()
+    for lo, hi in _windows(dataset):
+        r = execute_range_query(row_snap, lo, hi, collect=True)
+        c = execute_range_query(cold_snap, lo, hi, collect=True)
+        assert r.result_points == c.result_points
+        np.testing.assert_array_equal(r.rows, c.rows)
+        np.testing.assert_array_equal(r.row_ids, c.row_ids)
+        ra = execute_aggregate_query(row_snap, lo, hi)
+        ca = execute_aggregate_query(cold_snap, lo, hi)
+        assert ra.count == ca.count
+        # Bitwise, not approximate: the cold tier's stored sums must be
+        # the very floats the row path computes.
+        assert ra.total == ca.total or (
+            math.isnan(ra.total) and math.isnan(ca.total)
+        )
+        assert ra.minimum == ca.minimum or (
+            math.isnan(ra.minimum) and math.isnan(ca.minimum)
+        )
+        assert ra.maximum == ca.maximum or (
+            math.isnan(ra.maximum) and math.isnan(ca.maximum)
+        )
+
+
+def _assert_write_accounting_identical(row_engine, cold_engine):
+    """Cold emission changes layout only — never what or when we write."""
+    rs, cs = row_engine.stats, cold_engine.stats
+    assert rs.user_points == cs.user_points
+    assert rs.disk_writes == cs.disk_writes
+    assert rs.write_amplification == cs.write_amplification
+    np.testing.assert_array_equal(rs.write_counts, cs.write_counts)
+    assert [
+        (e.kind, e.new_points, e.rewritten_points, e.tables_written)
+        for e in rs.events
+    ] == [
+        (e.kind, e.new_points, e.rewritten_points, e.tables_written)
+        for e in cs.events
+    ]
+
+
+# -- engine conformance --------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("key", ENGINE_KEYS)
+class TestColdEngineConformance:
+    def test_row_and_cold_twins_agree_at_every_stage(self, key, workload):
+        dataset = _dataset(workload)
+        row_engine = _factories(CONFIG_ROW)[key]()
+        cold_engine = _factories(CONFIG_COLD)[key]()
+
+        # Stage 1: mid-ingest (buffered + partially compacted state).
+        _ingest(row_engine, dataset, 0, N_POINTS // 2)
+        _ingest(cold_engine, dataset, 0, N_POINTS // 2)
+        _assert_reads_identical(row_engine, cold_engine, dataset)
+        _assert_write_accounting_identical(row_engine, cold_engine)
+
+        # Stage 2: pre-flush (full stream ingested, buffers still warm).
+        _ingest(row_engine, dataset, N_POINTS // 2, N_POINTS)
+        _ingest(cold_engine, dataset, N_POINTS // 2, N_POINTS)
+        _assert_reads_identical(row_engine, cold_engine, dataset)
+        _assert_write_accounting_identical(row_engine, cold_engine)
+
+        # Stage 3: post-flush (everything on disk).
+        row_engine.flush_all()
+        cold_engine.flush_all()
+        _assert_reads_identical(row_engine, cold_engine, dataset)
+        _assert_write_accounting_identical(row_engine, cold_engine)
+        cold_tables = cold_engine.snapshot().tables
+        assert cold_tables and all(t.is_columnar for t in cold_tables)
+        assert all(not t.is_columnar for t in row_engine.snapshot().tables)
+
+        # Stage 4: post-conversion (row twin converted in place catches
+        # up to the cold twin; layout-only, so accounting still agrees).
+        converted = row_engine.convert_cold(block_size=8)
+        assert converted == len(row_engine.snapshot().tables)
+        assert all(t.is_columnar for t in row_engine.snapshot().tables)
+        _assert_reads_identical(row_engine, cold_engine, dataset)
+        _assert_write_accounting_identical(row_engine, cold_engine)
+        row_engine.verify()
+        cold_engine.verify()
+
+
+class TestColdEmissionModes:
+    def test_age_gated_emission_matches_row_results(self):
+        """``cold_age`` emits columnar only behind the watermark."""
+        dataset = _dataset("M1")
+        span = float(dataset.tg.max()) - float(dataset.tg.min())
+        # The age must sit inside the delay spread: landings only
+        # re-emit chunks within the out-of-order reach of the watermark,
+        # so a larger cutoff would never see a qualifying chunk.
+        config = CONFIG_ROW.with_cold_tier(
+            block_size=8, level=10**6, age=0.01 * span
+        )
+        row_engine = ConventionalEngine(CONFIG_ROW)
+        cold_engine = ConventionalEngine(config)
+        _ingest(row_engine, dataset, 0, N_POINTS)
+        _ingest(cold_engine, dataset, 0, N_POINTS)
+        row_engine.flush_all()
+        cold_engine.flush_all()
+        tables = cold_engine.snapshot().tables
+        formats = {t.is_columnar for t in tables}
+        # The settled prefix went cold, the recent tail stayed row.
+        assert formats == {True, False}
+        threshold = max(t.max_tg for t in tables) - config.cold_age
+        assert all(
+            t.max_tg <= threshold for t in tables if t.is_columnar
+        )
+        _assert_reads_identical(row_engine, cold_engine, dataset)
+        _assert_write_accounting_identical(row_engine, cold_engine)
+
+    def test_convert_cold_respects_age_and_counts_tables(self):
+        dataset = _dataset("M1")
+        config = CONFIG_ROW.with_cold_tier(block_size=8, level=10**6)
+        engine = ConventionalEngine(config)
+        _ingest(engine, dataset, 0, N_POINTS)
+        engine.flush_all()
+        tables = engine.snapshot().tables
+        assert all(not t.is_columnar for t in tables)
+        cutoff = tables[len(tables) // 2].max_tg
+        converted = engine.convert_cold(max_tg=cutoff)
+        assert 0 < converted < len(tables)
+        for table in engine.snapshot().tables:
+            assert table.is_columnar == (table.max_tg <= cutoff)
+        # Converting again is a no-op on already-cold tables.
+        assert engine.convert_cold(max_tg=cutoff) == 0
+        assert engine.cold_tables_converted == converted
+
+    def test_conversion_is_not_charged_as_write_amplification(self):
+        dataset = _dataset("M1")
+        engine = ConventionalEngine(CONFIG_ROW)
+        _ingest(engine, dataset, 0, N_POINTS)
+        engine.flush_all()
+        before = (engine.stats.disk_writes, len(engine.stats.events))
+        assert engine.convert_cold(block_size=8) > 0
+        assert (engine.stats.disk_writes, len(engine.stats.events)) == before
+
+
+# -- durability ----------------------------------------------------------------
+
+
+class TestColdDurability:
+    def test_checkpoint_preserves_columnar_format(self, tmp_path):
+        dataset = _dataset("M1")
+        engine = ConventionalEngine(CONFIG_COLD)
+        _ingest(engine, dataset, 0, N_POINTS)
+        engine.flush_all()
+        ckpt = str(tmp_path / "cold.ckpt")
+        engine.save_checkpoint(ckpt)
+        restored = ConventionalEngine.restore(ckpt)
+        live, back = engine.snapshot(), restored.snapshot()
+        assert [t.storage.block_size for t in live.tables] == [
+            t.storage.block_size for t in back.tables
+        ]
+        assert all(t.is_columnar for t in back.tables)
+        assert restored.cold_tier_bytes() == engine.cold_tier_bytes()
+        _assert_reads_identical(engine, restored, dataset)
+        restored.verify()
+
+    def test_restore_continues_bit_identically(self, tmp_path):
+        dataset = _dataset("M8")
+        engine = SeparationEngine(CONFIG_COLD)
+        _ingest(engine, dataset, 0, N_POINTS // 2)
+        ckpt = str(tmp_path / "mid.ckpt")
+        engine.save_checkpoint(ckpt)
+        restored = SeparationEngine.restore(ckpt)
+        _ingest(engine, dataset, N_POINTS // 2, N_POINTS)
+        _ingest(restored, dataset, N_POINTS // 2, N_POINTS)
+        engine.flush_all()
+        restored.flush_all()
+        _assert_reads_identical(engine, restored, dataset)
+        _assert_write_accounting_identical(engine, restored)
+
+    def test_legacy_checkpoint_without_blocks_restores_row(self):
+        tg = np.sort(np.random.default_rng(0).uniform(0, 100, 96))
+        tables = build_sstables(tg, np.arange(96), 32, block_size=8)
+        arrays = {}
+        pack_tables(arrays, "lvl", tables)
+        del arrays["lvl.blocks"]  # what a pre-cold-tier checkpoint holds
+        legacy = unpack_tables(arrays, "lvl")
+        assert len(legacy) == len(tables)
+        assert all(not t.is_columnar for t in legacy)
+        for old, new in zip(tables, legacy):
+            np.testing.assert_array_equal(old.tg, new.tg)
+            np.testing.assert_array_equal(old.ids, new.ids)
+
+    def test_crash_recovery_with_corrupt_checkpoint(self, tmp_path):
+        wal_path = str(tmp_path / "cold.wal")
+        ckpt_path = str(tmp_path / "cold.ckpt")
+        dataset = _dataset("M1")
+        config = LsmConfig(
+            64, 32, wal_path=wal_path
+        ).with_cold_tier(block_size=8, level=0)
+        engine = ConventionalEngine(config)
+        _ingest(engine, dataset, 0, N_POINTS // 2)
+        engine.save_checkpoint(ckpt_path)
+        _ingest(engine, dataset, N_POINTS // 2, N_POINTS)
+        engine.wal.close()
+        FaultInjector(FaultPlan(seed=9)).corrupt_file(ckpt_path, spare_prefix=8)
+        report = recover_engine(
+            ConventionalEngine,
+            wal_path,
+            checkpoint_path=ckpt_path,
+            config=LsmConfig(64, 32).with_cold_tier(block_size=8, level=0),
+        )
+        assert report.checkpoint_corrupt and not report.checkpoint_used
+        assert report.replayed_points == N_POINTS
+        assert report.verified
+        _assert_reads_identical(engine, report.engine, dataset)
+        _assert_write_accounting_identical(engine, report.engine)
+
+    def test_recovery_from_intact_cold_checkpoint(self, tmp_path):
+        wal_path = str(tmp_path / "cold.wal")
+        ckpt_path = str(tmp_path / "cold.ckpt")
+        dataset = _dataset("M1")
+        config = LsmConfig(
+            64, 32, wal_path=wal_path
+        ).with_cold_tier(block_size=8, level=0)
+        engine = ConventionalEngine(config)
+        _ingest(engine, dataset, 0, N_POINTS // 2)
+        engine.save_checkpoint(ckpt_path)
+        _ingest(engine, dataset, N_POINTS // 2, N_POINTS)
+        engine.wal.close()
+        report = recover_engine(
+            ConventionalEngine,
+            wal_path,
+            checkpoint_path=ckpt_path,
+            config=LsmConfig(64, 32).with_cold_tier(block_size=8, level=0),
+        )
+        assert report.checkpoint_used and report.verified
+        recovered = report.engine.snapshot()
+        assert recovered.tables and all(
+            t.is_columnar for t in recovered.tables
+        )
+        _assert_reads_identical(engine, report.engine, dataset)
+
+
+# -- cost model & telemetry ----------------------------------------------------
+
+
+class TestColdCostModel:
+    def test_backpressure_debt_sees_cold_stats_memory(self):
+        dataset = _dataset("M1")
+        engine = ConventionalEngine(CONFIG_ROW)
+        _ingest(engine, dataset, 0, N_POINTS)
+        engine.flush_all()
+        admission = AdmissionController(engine)
+        before = admission.debt_points()
+        assert engine.cold_tier_bytes() == 0
+        assert engine.convert_cold(block_size=8) > 0
+        resident = engine.cold_tier_bytes()
+        assert resident > 0
+        assert admission.debt_points() == before + resident // POINT_BYTES
+
+    def test_cold_bytes_match_block_count(self):
+        tg = np.sort(np.random.default_rng(1).uniform(0, 100, 200))
+        table = SSTable(tg, np.arange(200))
+        assert table.stats_nbytes == 0
+        assert table.convert_to_columnar(16)
+        assert table.block_stats.nblocks == 13  # ceil(200 / 16)
+        assert table.stats_nbytes == 13 * BLOCK_STAT_BYTES
+
+    def test_telemetry_counters(self):
+        dataset = _dataset("M1")
+        engine = ConventionalEngine(CONFIG_COLD.with_telemetry())
+        _ingest(engine, dataset, 0, N_POINTS)
+        engine.flush_all()
+        registry = engine.telemetry.registry
+        assert registry.counter("cold_tier.tables_converted").value > 0
+        engine.cold_tier_bytes()
+        assert registry.gauge("cold_tier.resident_bytes").value > 0
+        snapshot = engine.snapshot()
+        lo, hi = float(dataset.tg.min()), float(dataset.tg.max())
+        result = execute_aggregate_query(
+            snapshot, lo, hi, telemetry=engine.telemetry
+        )
+        assert result.blocks_stat_answered > 0
+        assert (
+            registry.counter("query.blocks_stat_answered").value
+            == result.blocks_stat_answered
+        )
+        stats = execute_range_query(
+            snapshot, lo + 0.4 * (hi - lo), lo + 0.6 * (hi - lo),
+            telemetry=engine.telemetry,
+        )
+        assert registry.counter("query.blocks_skipped").value >= (
+            stats.blocks_skipped
+        )
+
+    def test_executor_reads_blocks_not_files(self):
+        """Columnar tables charge only the overlapping block span."""
+        tg = np.sort(np.random.default_rng(2).uniform(0, 1000, 512))
+        row = SSTable(tg.copy(), np.arange(512))
+        cold = SSTable(tg.copy(), np.arange(512))
+        assert cold.convert_to_columnar(32)
+        lo, hi = float(tg[100]), float(tg[140])
+        b0, b1 = cold.block_stats.overlapping(lo, hi)
+        assert cold.block_stats.points_in(b0, b1) < len(row)
+        assert row.count_in_range(lo, hi) == cold.count_in_range(lo, hi)
+
+
+# -- block & storage primitives ------------------------------------------------
+
+
+class TestBlockStats:
+    def test_build_partitions_exactly(self):
+        tg = np.sort(np.random.default_rng(3).uniform(0, 50, 100))
+        stats = BlockStats.build(tg, np.arange(100), 8)
+        assert stats.nblocks == 13
+        assert int(stats.counts.sum()) == 100
+        np.testing.assert_array_equal(stats.mins, tg[stats.starts])
+        ends = np.append(stats.starts[1:], 100)
+        np.testing.assert_array_equal(stats.maxs, tg[ends - 1])
+        # Per-block sums cover the column (approximate: reduceat's
+        # partial sums legitimately differ from one pairwise np.sum).
+        assert np.isclose(float(stats.sums.sum()), float(tg.sum()))
+
+    def test_single_block_when_size_exceeds_points(self):
+        tg = np.array([1.0, 2.0, 3.0])
+        stats = BlockStats.build(tg, np.arange(3), 64)
+        assert stats.nblocks == 1
+        assert stats.mins[0] == 1.0 and stats.maxs[0] == 3.0
+
+    def test_overlapping_and_covered_spans(self):
+        tg = np.arange(100, dtype=np.float64)
+        stats = BlockStats.build(tg, np.arange(100), 10)
+        assert stats.overlapping(-5.0, -1.0) == (0, 0)
+        assert stats.overlapping(0.0, 99.0) == (0, 10)
+        b0, b1 = stats.overlapping(25.0, 44.0)
+        assert (b0, b1) == (2, 5)
+        assert stats.points_in(b0, b1) == 30
+        # Covered: only blocks entirely inside the window.
+        c0, c1 = stats.covered(25.0, 44.0)
+        assert (c0, c1) == (3, 4)
+
+    def test_storage_round_trip_and_sum_identity(self):
+        tg = np.sort(np.random.default_rng(4).uniform(0, 10, 77))
+        ids = np.arange(77)
+        row = make_storage(tg, ids, 0)
+        cold = make_storage(tg, ids, 8)
+        assert isinstance(row, RowStorage) and isinstance(
+            cold, ColumnarStorage
+        )
+        assert row.block_size == 0 and cold.block_size == 8
+        # The stored table-level sum is the exact row-path float.
+        assert cold.sum_tg == float(tg.sum())
+        np.testing.assert_array_equal(cold.block_tg(0), tg[:8])
+        np.testing.assert_array_equal(cold.block_ids(9), ids[72:])
+
+    def test_sstable_rejects_conflicting_constructor_args(self):
+        tg = np.array([1.0, 2.0])
+        with pytest.raises(EngineError):
+            SSTable(tg, np.arange(2), storage=RowStorage(tg, np.arange(2)))
+
+    def test_build_sstables_age_cutoff(self):
+        tg = np.arange(100, dtype=np.float64)
+        tables = build_sstables(
+            tg, np.arange(100), 25, block_size=8, cold_max_tg=49.0
+        )
+        assert [t.is_columnar for t in tables] == [True, True, False, False]
+
+
+class TestColdConfig:
+    def test_with_cold_tier_round_trip(self):
+        config = LsmConfig(64, 32).with_cold_tier(
+            block_size=16, level=2, age=5.0
+        )
+        assert config.cold_tier
+        assert config.cold_block_size == 16
+        assert config.cold_level == 2
+        assert config.cold_age == 5.0
+        # Omitted knobs keep defaults.
+        assert not LsmConfig(64, 32).cold_tier
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cold_block_size": 0},
+            {"cold_level": -1},
+            {"cold_age": 0.0},
+            {"cold_age": -1.0},
+        ],
+    )
+    def test_invalid_cold_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            LsmConfig(64, 32, cold_tier=True, **kwargs)
