@@ -348,3 +348,132 @@ def test_perf_snapshot_cached(benchmark, stream):
 
     snapshot = benchmark(snapshots)
     assert snapshot is engine.snapshot()
+
+
+def _fleet_rounds(fleet_data, chunk=1000):
+    """Lock-step ingest rounds over a heterogeneous fleet workload."""
+    longest = max(len(ds) for ds in fleet_data.values())
+    rounds = []
+    for pos in range(0, longest, chunk):
+        batch = [
+            (name, ds.tg[pos : pos + chunk], ds.ta[pos : pos + chunk])
+            for name, ds in fleet_data.items()
+            if pos < len(ds)
+        ]
+        rounds.append(batch)
+    return rounds
+
+
+def test_perf_sharded_ingest(benchmark):
+    """The sharded front-end: route, split and group-commit a fleet batch.
+
+    Measures the serving tier's batched ingest path (routing + per-shard
+    write loop) against the raw single-database path, so routing overhead
+    regressions surface here.
+    """
+    from repro.serving import ShardedDatabase
+    from repro.workloads import generate_fleet
+
+    fleet_data = generate_fleet(
+        n_series=8, points_per_series=12_500, disordered_fraction=0.5, seed=7
+    )
+    rounds = _fleet_rounds(fleet_data, chunk=2500)
+
+    def ingest():
+        fleet = ShardedDatabase(
+            n_shards=4, memory_budget_per_series=512, sstable_size=512
+        )
+        total = 0
+        for batch in rounds:
+            total += fleet.ingest_batch(batch)
+        fleet.flush_all()
+        return fleet, total
+
+    fleet, total = benchmark(ingest)
+    assert total == sum(len(ds) for ds in fleet_data.values())
+    assert len(fleet) == len(fleet_data)
+
+
+def test_perf_arbiter_rebalance(benchmark):
+    """Online arbitration: decision latency, and it must beat equal split.
+
+    Runs the same skewed fleet (hot disordered cohort at 4x the arrival
+    rate) through a static equal-split fleet and an arbitrated one, then
+    benchmarks the arbiter's re-solve.  The asserted outcome is the
+    subsystem's reason to exist: following the workload with the memory
+    yields strictly lower total write amplification than the static
+    split of the same budget.
+    """
+    from repro.core.allocation import MemoryArbiter, SeriesWorkload
+    from repro.serving import ShardedDatabase
+    from repro.workloads import generate_fleet
+
+    fleet_data = generate_fleet(
+        n_series=8,
+        points_per_series=4000,
+        disordered_fraction=0.5,
+        hot_fraction=0.25,
+        hot_rate_multiplier=4,
+        seed=11,
+    )
+    rounds = _fleet_rounds(fleet_data, chunk=1000)
+    candidates = (32, 64, 128, 256)
+    total_budget = 64 * len(fleet_data)
+
+    def run_fleet(arbiter):
+        fleet = ShardedDatabase(
+            n_shards=4,
+            memory_budget_per_series=64,
+            sstable_size=32,
+            auto_tune=True,
+            arbiter=arbiter,
+        )
+        for batch in rounds:
+            fleet.ingest_batch(batch)
+        fleet.flush_all()
+        writes = points = 0
+        for name in fleet.series_names():
+            stats = fleet.database_for(name).series(name).engine.stats
+            writes += stats.disk_writes
+            points += stats.user_points
+        return fleet, writes / points
+
+    _, static_wa = run_fleet(None)
+    arbitrated, arbitrated_wa = run_fleet(
+        MemoryArbiter(
+            total_budget=total_budget,
+            candidate_budgets=candidates,
+            decision_interval=4000,
+            min_observations=512,
+        )
+    )
+    benchmark.extra_info["static_wa"] = static_wa
+    benchmark.extra_info["arbitrated_wa"] = arbitrated_wa
+    assert arbitrated.last_rebalance is not None
+    assert arbitrated_wa < static_wa
+
+    # The online hot path: re-solve the fleet's budgets from the live
+    # delay profiles (what every due decision costs at ingest time).
+    workloads = []
+    current = {}
+    for name in arbitrated.series_names():
+        state = arbitrated.database_for(name).series(name)
+        profile = state.analyzer.profile()
+        workloads.append(
+            SeriesWorkload(
+                name=name,
+                delay=profile.distribution,
+                dt=profile.dt,
+                rate=float(state.analyzer.observed_points),
+            )
+        )
+        current[name] = state.config.memory_budget
+    solver = MemoryArbiter(
+        total_budget=total_budget, candidate_budgets=candidates
+    )
+
+    def decide():
+        return solver.decide(workloads, current_budgets=current)
+
+    decision = benchmark(decide)
+    assert decision.allocations

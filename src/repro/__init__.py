@@ -41,6 +41,8 @@ from .config import (
 )
 from .core import (
     DelayAnalyzer,
+    MemoryArbiter,
+    RebalanceDecision,
     SeriesAllocation,
     SeriesWorkload,
     allocate_budgets,
@@ -146,6 +148,7 @@ from .query import (
     query_latency_ms,
     run_query_workload,
 )
+from .serving import ShardRouter, ShardedDatabase
 from .workloads import (
     TABLE_II,
     generate_fleet,
@@ -190,6 +193,11 @@ __all__ = [
     "SeriesAllocation",
     "allocate_budgets",
     "fleet_objective",
+    "MemoryArbiter",
+    "RebalanceDecision",
+    # serving tier
+    "ShardedDatabase",
+    "ShardRouter",
     # engines
     "LsmEngine",
     "ConventionalEngine",

@@ -13,8 +13,10 @@ Usage::
     python -m repro stability-report trace.jsonl
     python -m repro crash-test --engines all --seeds 3 --workers 4
     python -m repro crash-test --faults fsync_delay,slow_merge --seeds 2
+    python -m repro crash-test --fleet --shards 4 --seeds 2
     python -m repro checkpoint --dir state/
     python -m repro recover --dir state/
+    python -m repro shard-report --dir fleet/
     python -m repro engines
     python -m repro cold-report --points 200000 --block-size 256
 """
@@ -43,7 +45,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "experiment id (see 'list'), 'all', 'list', or a subcommand: "
             "'run-all', 'telemetry-report <trace.jsonl>', "
             "'stability-report <trace.jsonl>', 'crash-test', "
-            "'checkpoint', 'recover', 'engines'"
+            "'checkpoint', 'recover', 'shard-report', 'engines'"
         ),
     )
     parser.add_argument(
@@ -183,12 +185,28 @@ def _build_crash_test_parser() -> argparse.ArgumentParser:
             "-1 = one per CPU)"
         ),
     )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "run the fleet crash matrix instead: kill one shard of a "
+            "sharded serving tier mid-group-commit, recover only that "
+            "shard, and check the survivors are byte-for-byte untouched "
+            "(--engines/--points/--workers do not apply)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="fleet width for --fleet cases (default 4)",
+    )
     return parser
 
 
 def _crash_test(argv: list[str]) -> int:
     """The ``crash-test`` subcommand; returns an exit code."""
-    from .faults.crashtest import run_crash_test
+    from .faults.crashtest import run_crash_test, run_fleet_crash_test
 
     args = _build_crash_test_parser().parse_args(argv)
     engines = (
@@ -202,14 +220,22 @@ def _crash_test(argv: list[str]) -> int:
         else [kind.strip() for kind in args.faults.split(",") if kind.strip()]
     )
     try:
-        report = run_crash_test(
-            engines=engines,
-            seeds=args.seeds,
-            n_points=args.points,
-            workdir=args.workdir,
-            workers=args.workers,
-            faults=faults,
-        )
+        if args.fleet:
+            report = run_fleet_crash_test(
+                seeds=args.seeds,
+                workdir=args.workdir,
+                faults=faults,
+                n_shards=args.shards,
+            )
+        else:
+            report = run_crash_test(
+                engines=engines,
+                seeds=args.seeds,
+                n_points=args.points,
+                workdir=args.workdir,
+                workers=args.workers,
+                faults=faults,
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -304,6 +330,38 @@ def _recover(argv: list[str]) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(f"[recovered {len(db)} series from {args.durability_dir}]")
+    return 0
+
+
+def _build_shard_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments shard-report",
+        description=(
+            "Recover a sharded serving tier from its fleet durability "
+            "directory and print the operator view: per-shard series, "
+            "points, disk writes, WA, MemTable budget, WAL bytes and "
+            "backpressure state, plus the last memory-arbiter rebalance"
+        ),
+    )
+    parser.add_argument(
+        "--dir", required=True, dest="durability_dir",
+        help="fleet durability directory (contains fleet.json)",
+    )
+    return parser
+
+
+def _shard_report(argv: list[str]) -> int:
+    """The ``shard-report`` subcommand; returns an exit code."""
+    from .obs.sharding import render_shard_report
+    from .serving import ShardedDatabase
+
+    args = _build_shard_report_parser().parse_args(argv)
+    try:
+        fleet = ShardedDatabase.recover(args.durability_dir)
+        print(render_shard_report(fleet, source=args.durability_dir))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -529,6 +587,7 @@ _SUBCOMMANDS = {
     "crash-test": _crash_test,
     "checkpoint": _checkpoint,
     "recover": _recover,
+    "shard-report": _shard_report,
 }
 
 

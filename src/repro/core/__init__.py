@@ -10,6 +10,8 @@
 """
 
 from .allocation import (
+    MemoryArbiter,
+    RebalanceDecision,
     SeriesAllocation,
     SeriesWorkload,
     allocate_budgets,
@@ -51,4 +53,6 @@ __all__ = [
     "SeriesAllocation",
     "allocate_budgets",
     "fleet_objective",
+    "MemoryArbiter",
+    "RebalanceDecision",
 ]

@@ -28,7 +28,14 @@ from ..distributions import DelayDistribution
 from ..errors import ModelError
 from .tuning import tune_separation_policy
 
-__all__ = ["SeriesWorkload", "SeriesAllocation", "allocate_budgets"]
+__all__ = [
+    "SeriesWorkload",
+    "SeriesAllocation",
+    "allocate_budgets",
+    "fleet_objective",
+    "RebalanceDecision",
+    "MemoryArbiter",
+]
 
 
 @dataclass(frozen=True)
@@ -121,6 +128,10 @@ def allocate_budgets(
     while True:
         best_name = None
         best_gain = 0.0
+        # Strict `>` makes ties deterministic: among equal marginal
+        # gains the series that appears first in the input wins, so the
+        # allocation is a pure function of the workload list (the online
+        # arbiter's convergence test depends on this).
         for name, lvl in level.items():
             if lvl + 1 >= len(candidates):
                 continue
@@ -164,3 +175,138 @@ def fleet_objective(
     return float(
         sum(rates[a.name] * a.predicted_wa for a in allocations) / total_rate
     )
+
+
+# -- online arbitration ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """One arbiter tick: the re-solved allocation and what it changes."""
+
+    #: Monotone decision counter (1 = first decision).
+    tick: int
+    #: Full re-solved allocation, one entry per profiled series.
+    allocations: tuple[SeriesAllocation, ...]
+    #: Names whose budget differs from the budget they currently run.
+    changed: tuple[str, ...]
+    #: Predicted weighted fleet WA of ``allocations``.
+    objective: float
+    #: Budget the solver divided (points).
+    total_budget: int
+
+    def budget_for(self, name: str) -> int | None:
+        """Allocated budget for ``name`` (None when not in this tick)."""
+        for allocation in self.allocations:
+            if allocation.name == name:
+                return allocation.budget
+        return None
+
+
+class MemoryArbiter:
+    """Online controller over :func:`allocate_budgets`.
+
+    *Breaking Down Memory Walls* (PAPERS.md) observes that a static
+    memory split across LSM components loses to a controller that keeps
+    reallocating as the workload drifts.  This class is that controller
+    for the fleet's MemTable budgets: the serving tier feeds it observed
+    per-series workloads (delay profiles from each shard's
+    :class:`~repro.core.analyzer.DelayAnalyzer`, rates from the shard
+    telemetry counters) and it re-solves the same discrete problem the
+    one-shot solver does.  Because :func:`allocate_budgets` is a pure,
+    deterministic function of the workloads, the arbiter **converges**:
+    once the observed profiles are stationary, consecutive decisions are
+    identical and ``changed`` goes empty, so resizes stop.
+
+    The arbiter only *decides*; the caller applies resizes at flush
+    boundaries (:meth:`~repro.lsm.database.TimeSeriesDatabase.
+    resize_series`) so WA accounting stays exact.
+
+    Parameters
+    ----------
+    total_budget:
+        Fleet-wide MemTable budget (points) to divide.
+    decision_interval:
+        Ingested points between decisions; :meth:`observe_points`
+        reports when one is due.
+    min_observations:
+        Series with fewer observed points than this should not be
+        handed to :meth:`decide` — their empirical profiles are noise.
+        Callers keep such series at their current budget; the arbiter
+        reserves nothing for them beyond what they already hold.
+    """
+
+    def __init__(
+        self,
+        total_budget: int,
+        candidate_budgets: tuple[int, ...] = (32, 64, 128, 256, 512, 1024),
+        sstable_size: int | None = None,
+        config: ModelConfig = DEFAULT_MODEL_CONFIG,
+        decision_interval: int = 8192,
+        min_observations: int = 512,
+    ) -> None:
+        if total_budget < 2:
+            raise ModelError(f"total_budget must be >= 2, got {total_budget}")
+        if decision_interval < 1:
+            raise ModelError(
+                f"decision_interval must be >= 1, got {decision_interval}"
+            )
+        self.total_budget = total_budget
+        self.candidate_budgets = tuple(sorted(set(candidate_budgets)))
+        self.sstable_size = sstable_size
+        self.config = config
+        self.decision_interval = decision_interval
+        self.min_observations = min_observations
+        self.tick = 0
+        self.last_decision: RebalanceDecision | None = None
+        self._points_since_decision = 0
+
+    def observe_points(self, count: int) -> bool:
+        """Record ``count`` ingested points; True when a decision is due."""
+        if count < 0:
+            raise ModelError(f"observed point count cannot be negative: {count}")
+        self._points_since_decision += count
+        return self._points_since_decision >= self.decision_interval
+
+    def decide(
+        self,
+        workloads: list[SeriesWorkload],
+        current_budgets: dict[str, int] | None = None,
+        budget: int | None = None,
+    ) -> RebalanceDecision:
+        """Re-solve the allocation for ``workloads``.
+
+        ``current_budgets`` (series → running budget) determines which
+        series land in ``changed``; omitted, every series counts as
+        changed.  ``budget`` overrides the fleet total for this tick —
+        the serving tier passes the share belonging to the profiled
+        series when unprofiled series still hold reserved memory.
+        """
+        self._points_since_decision = 0
+        self.tick += 1
+        allocations = tuple(
+            allocate_budgets(
+                workloads,
+                budget if budget is not None else self.total_budget,
+                candidate_budgets=self.candidate_budgets,
+                sstable_size=self.sstable_size,
+                config=self.config,
+            )
+        )
+        current = current_budgets or {}
+        changed = tuple(
+            allocation.name
+            for allocation in allocations
+            if current.get(allocation.name) != allocation.budget
+        )
+        decision = RebalanceDecision(
+            tick=self.tick,
+            allocations=allocations,
+            changed=changed,
+            objective=fleet_objective(list(allocations), workloads),
+            total_budget=(
+                budget if budget is not None else self.total_budget
+            ),
+        )
+        self.last_decision = decision
+        return decision

@@ -39,10 +39,14 @@ __all__ = [
     "CRASH_TEST_ENGINES",
     "FAULT_KINDS",
     "OVERLOAD_FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "CrashCaseResult",
     "CrashTestReport",
+    "FleetCrashCaseResult",
     "run_crash_case",
     "run_crash_test",
+    "run_fleet_crash_case",
+    "run_fleet_crash_test",
 ]
 
 #: Engine keys the harness knows how to build and recover.
@@ -64,6 +68,16 @@ FAULT_KINDS = ("crash_flush", "crash_merge", "torn_wal", "corrupt_checkpoint")
 #: recovery stays exact while the engine is degraded.  Opt-in via the
 #: ``faults`` selector (not part of the default matrix).
 OVERLOAD_FAULT_KINDS = ("fsync_delay", "slow_merge")
+
+#: Fault kinds the fleet crash matrix arms on the victim shard.  Both
+#: run under group-commit WAL (``wal_group_records=4``) with half the
+#: ingest rounds left unsynced, so the crash lands mid-group-commit:
+#: acknowledged-but-uncommitted frames are lost and recovery must land
+#: on exactly the committed prefix.  (``crash_merge`` rather than
+#: ``crash_flush``: the shards run conventional engines, whose merges
+#: recur all run long while their pure-flush site fires only once,
+#: before anything is durable.)
+FLEET_FAULT_KINDS = ("crash_merge", "torn_wal")
 
 #: Small buffers so a few thousand points exercise many flushes/merges.
 _CASE_CONFIG = dict(memory_budget=64, sstable_size=32)
@@ -466,5 +480,284 @@ def run_crash_test(
                         n_points=n_points,
                         telemetry=telemetry,
                     )
+                )
+    return report
+
+
+# -- fleet crash matrix --------------------------------------------------------
+
+
+@dataclass
+class FleetCrashCaseResult:
+    """Outcome of one fleet-wide fault × seed case."""
+
+    fault: str
+    seed: int
+    #: Shard index the fault was armed on.
+    victim: int = -1
+    #: The armed fault actually fired and killed the victim shard.
+    crashed: bool = False
+    #: Series living on the victim shard.
+    victim_series: int = 0
+    #: Durable points recovered across the victim's series.
+    victim_durable_points: int = 0
+    #: Every recovered victim engine verified and matched a crash-free
+    #: rerun of its durable prefix (disk writes + per-point counters).
+    victim_wa_match: bool = False
+    #: Surviving shards' on-disk files were byte-identical before and
+    #: after the victim's recovery, and their live engines verify.
+    survivors_untouched: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """The case proved shard-independent recovery end to end."""
+        return (
+            self.error is None
+            and self.crashed
+            and self.victim_wa_match
+            and self.survivors_untouched
+        )
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        detail = (
+            f"victim=shard-{self.victim:02d} series={self.victim_series} "
+            f"durable={self.victim_durable_points}"
+        )
+        if self.error:
+            detail += f" error={self.error}"
+        return f"[{status}] fleet {self.fault:<12} seed={self.seed} {detail}"
+
+
+def _dir_fingerprint(root: str) -> dict[str, bytes]:
+    """Content digest per file under ``root`` (survivor-untouched check)."""
+    import hashlib
+
+    digests: dict[str, bytes] = {}
+    for base, _, files in os.walk(root):
+        for name in files:
+            path = os.path.join(base, name)
+            with open(path, "rb") as handle:
+                digests[os.path.relpath(path, root)] = hashlib.sha256(
+                    handle.read()
+                ).digest()
+    return digests
+
+
+def run_fleet_crash_case(
+    fault: str,
+    seed: int,
+    workdir: str,
+    n_shards: int = 4,
+    n_series: int = 6,
+    points_per_series: int = 3000,
+) -> FleetCrashCaseResult:
+    """Kill one shard mid-group-commit; recover it; prove isolation.
+
+    Builds an ``n_shards`` fleet under group-commit WAL
+    (``wal_group_records=4``), arms ``fault`` on the shard owning the
+    most series, and ingests multi-series rounds with only every other
+    round synced — so the injected crash lands with acknowledged frames
+    still pending in the victim's group buffers.  After the crash the
+    surviving shards sync and keep their live engines; only the victim
+    is recovered from disk.  The case passes when (a) every recovered
+    victim engine verifies and reproduces a crash-free run over its
+    durable prefix exactly, and (b) the survivors' on-disk files are
+    byte-identical before and after that recovery.
+    """
+    from ..lsm.database import TimeSeriesDatabase
+    from ..serving import ShardedDatabase, ShardRouter, shard_name
+
+    if fault not in FLEET_FAULT_KINDS:
+        raise FaultError(
+            f"unknown fleet fault kind {fault!r}; expected one of "
+            f"{FLEET_FAULT_KINDS}"
+        )
+    result = FleetCrashCaseResult(fault=fault, seed=seed)
+    rng = np.random.default_rng(seed)
+    names = [f"series-{index:02d}" for index in range(n_series)]
+    router = ShardRouter(n_shards)
+    owners = {name: router.shard_of(name) for name in names}
+    counts = {index: 0 for index in range(n_shards)}
+    for shard in owners.values():
+        counts[shard] += 1
+    # The victim is the busiest shard (ties to the lowest index), so the
+    # crash interrupts as many per-series engines as possible.
+    victim = max(counts, key=lambda index: (counts[index], -index))
+    result.victim = victim
+    result.victim_series = counts[victim]
+    if counts[victim] == 0:
+        result.error = "no series routed to any shard"
+        return result
+
+    datasets = {
+        name: generate_synthetic(
+            points_per_series,
+            dt=1.0,
+            delay=ExponentialDelay(mean=40.0),
+            seed=seed * 131 + index,
+            name=name,
+        )
+        for index, name in enumerate(names)
+    }
+    batches = _batches(points_per_series, seed)
+    if fault == "crash_merge":
+        # Late enough that at least one synced round precedes the crash
+        # (per-engine merges run ~2-3 per round at these buffer sizes),
+        # so the lost tail sits on top of a non-trivial durable prefix.
+        plan = FaultPlan(seed=seed, crash_at_merge=int(rng.integers(6, 18)))
+    else:
+        plan = FaultPlan(
+            seed=seed,
+            torn_wal_append_at=int(rng.integers(2, max(len(batches) - 1, 3))),
+        )
+    fleet_dir = os.path.join(workdir, f"fleet-{fault}-{seed}")
+    stability = dict(wal_group_records=4)
+    fleet = ShardedDatabase(
+        n_shards=n_shards,
+        router=router,
+        memory_budget_per_series=64,
+        sstable_size=32,
+        auto_tune=False,
+        durability_dir=fleet_dir,
+        stability=stability,
+        shard_fault_plans={victim: plan},
+    )
+    # Register every series, then checkpoint: the shard manifests must
+    # exist before the crash for recovery to know the fleet's shape.
+    for name in names:
+        fleet.database_for(name).create_series(name)
+    fleet.checkpoint_all()
+
+    checkpoint_after = len(batches) // 2
+    try:
+        for index, region in enumerate(batches):
+            fleet.ingest_batch(
+                [(name, datasets[name].tg[region]) for name in names],
+                sync=(index % 2 == 1),
+            )
+            if index + 1 == checkpoint_after:
+                fleet.checkpoint_all()
+    except InjectedCrash:
+        result.crashed = True
+    if not result.crashed:
+        result.error = "armed fault never fired on the victim shard"
+        return result
+
+    # The victim process is dead: its pending group frames are lost with
+    # it (never close its WAL handles — close would commit them).  The
+    # survivors are still alive; they sync and carry on.
+    survivor_stats: dict[str, tuple[int, tuple]] = {}
+    for index, db in enumerate(fleet.shards):
+        if index == victim:
+            continue
+        db.sync()
+        for name in db.series_names():
+            engine = db.series(name).engine
+            engine.verify()
+            survivor_stats[name] = (
+                engine.stats.disk_writes,
+                tuple(engine.stats.write_counts),
+            )
+    survivor_dirs = {
+        index: os.path.join(fleet_dir, shard_name(index))
+        for index in range(n_shards)
+        if index != victim
+    }
+    before = {
+        index: _dir_fingerprint(path) for index, path in survivor_dirs.items()
+    }
+
+    # -- recover the victim shard only -----------------------------------------
+    try:
+        recovered = TimeSeriesDatabase.recover(
+            os.path.join(fleet_dir, shard_name(victim)),
+            namespace=shard_name(victim),
+        )
+    except Exception as exc:
+        result.error = f"victim recovery failed: {exc!r}"
+        return result
+
+    after = {
+        index: _dir_fingerprint(path) for index, path in survivor_dirs.items()
+    }
+    result.survivors_untouched = before == after
+    if not result.survivors_untouched:
+        result.error = "victim recovery modified a surviving shard's files"
+        return result
+    for index, db in enumerate(fleet.shards):
+        if index == victim:
+            continue
+        for name in db.series_names():
+            engine = db.series(name).engine
+            if (
+                engine.stats.disk_writes,
+                tuple(engine.stats.write_counts),
+            ) != survivor_stats[name]:
+                result.survivors_untouched = False
+                result.error = f"survivor series {name!r} state drifted"
+                return result
+
+    # -- the victim's durable prefixes must reproduce crash-free runs ----------
+    victim_names = [name for name in names if owners[name] == victim]
+    if sorted(recovered.series_names()) != sorted(victim_names):
+        result.error = (
+            f"victim recovered series {sorted(recovered.series_names())} != "
+            f"routed {sorted(victim_names)}"
+        )
+        return result
+    clean = TimeSeriesDatabase(
+        memory_budget_per_series=64,
+        sstable_size=32,
+        auto_tune=False,
+        stability=stability,
+    )
+    result.victim_wa_match = True
+    for name in victim_names:
+        engine = recovered.series(name).engine
+        engine.verify()
+        durable = engine.ingested_points
+        result.victim_durable_points += durable
+        clean.write(name, datasets[name].tg[:durable])
+        reference = clean.series(name).engine
+        if not (
+            engine.stats.disk_writes == reference.stats.disk_writes
+            and np.array_equal(
+                engine.stats.write_counts, reference.stats.write_counts
+            )
+        ):
+            result.victim_wa_match = False
+            result.error = (
+                f"victim series {name!r}: recovered "
+                f"{engine.stats.disk_writes} disk writes vs crash-free "
+                f"{reference.stats.disk_writes} over {durable} points"
+            )
+            return result
+    return result
+
+
+def run_fleet_crash_test(
+    seeds: int = 2,
+    workdir: str | None = None,
+    faults: list[str] | None = None,
+    n_shards: int = 4,
+) -> CrashTestReport:
+    """The fleet crash matrix: every fleet fault kind × seed."""
+    kinds = list(faults) if faults else list(FLEET_FAULT_KINDS)
+    for kind in kinds:
+        if kind not in FLEET_FAULT_KINDS:
+            raise FaultError(
+                f"unknown fleet fault kind {kind!r}; expected one of "
+                f"{FLEET_FAULT_KINDS}"
+            )
+    report = CrashTestReport()
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir if workdir is not None else tmp
+        os.makedirs(base, exist_ok=True)
+        for fault in kinds:
+            for seed in range(seeds):
+                report.results.append(
+                    run_fleet_crash_case(fault, seed, base, n_shards=n_shards)
                 )
     return report

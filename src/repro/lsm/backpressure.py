@@ -36,7 +36,14 @@ from .blocks import POINT_BYTES
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .policies.kernel import StorageKernel
 
-__all__ = ["BACKPRESSURE_STATES", "HEALTHY", "THROTTLED", "SHEDDING", "AdmissionController"]
+__all__ = [
+    "BACKPRESSURE_STATES",
+    "HEALTHY",
+    "THROTTLED",
+    "SHEDDING",
+    "AdmissionController",
+    "rollup_states",
+]
 
 HEALTHY = "healthy"
 THROTTLED = "throttled"
@@ -48,6 +55,26 @@ BACKPRESSURE_STATES = (HEALTHY, THROTTLED, SHEDDING)
 #: Work points a throttled writer retires per admitted point.  Above 1
 #: so throttling pays debt *down* instead of merely matching intake.
 _THROTTLE_WORK_FACTOR = 2
+
+
+def rollup_states(states: list[str]) -> str:
+    """Fleet-level admission state: the worst of its members' states.
+
+    A fleet is only as healthy as its most loaded shard — one shedding
+    shard means writes routed there are being rejected or stalled even
+    while the rest of the fleet is idle.  Unknown state strings escalate
+    to :data:`SHEDDING` (fail loud in the rollup gauge rather than
+    report a sick fleet healthy); an empty fleet is healthy.
+    """
+    worst = 0
+    for state in states:
+        try:
+            rank = BACKPRESSURE_STATES.index(state)
+        except ValueError:
+            rank = len(BACKPRESSURE_STATES) - 1
+        if rank > worst:
+            worst = rank
+    return BACKPRESSURE_STATES[worst]
 
 
 class AdmissionController:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import re
 import struct
 from typing import TYPE_CHECKING
 from zlib import crc32
@@ -48,12 +49,33 @@ __all__ = [
     "unpack_run",
     "pack_memtable",
     "unpack_memtable",
+    "namespaced_stem",
 ]
 
 #: File magic: identifies a repro checkpoint, version 1.
 CHECKPOINT_MAGIC = b"RPCKP1\x00\n"
 
 _U32 = struct.Struct("<I")
+
+
+def namespaced_stem(name: str, namespace: str = "") -> str:
+    """Filesystem-safe, collision-free file stem for ``name``.
+
+    Two different ``(namespace, name)`` pairs can never map to the same
+    stem: the human-readable prefix is sanitised (and may collide), but
+    the appended CRC-32 tag covers the *raw* pair with a separator no
+    name can contain, so databases sharing one durability directory —
+    e.g. the shards of a :class:`~repro.serving.ShardedDatabase` — keep
+    their WALs, checkpoints and manifests apart.  The empty namespace
+    reproduces the historical single-database stem byte-for-byte, so
+    existing durability directories stay recoverable.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)[:80]
+    if not namespace:
+        return f"{safe}-{crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
+    safe_ns = re.sub(r"[^A-Za-z0-9._-]", "_", namespace)[:40]
+    tag = crc32(f"{namespace}\x00{name}".encode("utf-8")) & 0xFFFFFFFF
+    return f"{safe_ns}~{safe}-{tag:08x}"
 
 
 def write_checkpoint(

@@ -14,9 +14,7 @@ from __future__ import annotations
 
 import json
 import os
-import re
-from dataclasses import dataclass
-from zlib import crc32
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -26,16 +24,24 @@ from ..core.tuning import SEPARATION, PolicyDecision
 from ..errors import EngineError, RecoveryError
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .base import Snapshot, _engine_registry
+from .checkpoint import namespaced_stem
 from .conventional import ConventionalEngine
 from .separation import SeparationEngine
 
-__all__ = ["SeriesState", "FleetReport", "TimeSeriesDatabase"]
+__all__ = ["SeriesState", "FleetReport", "TimeSeriesDatabase", "manifest_filename"]
 
 
-def _series_file_stem(name: str) -> str:
-    """Filesystem-safe, collision-free stem for one series' files."""
-    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)[:80]
-    return f"{safe}-{crc32(name.encode('utf-8')) & 0xFFFFFFFF:08x}"
+def manifest_filename(namespace: str = "") -> str:
+    """Manifest file name for one database under ``namespace``.
+
+    The empty namespace keeps the historical ``manifest.json`` so legacy
+    durability directories stay recoverable; namespaced databases (the
+    shards of a fleet) each write their own namespace-tagged manifest
+    and can therefore share one directory without clobbering each other.
+    """
+    if not namespace:
+        return "manifest.json"
+    return f"{namespaced_stem('manifest', namespace)}.json"
 
 
 @dataclass
@@ -120,6 +126,16 @@ class TimeSeriesDatabase:
         batch left no durable trace and may be retried verbatim.  The
         overrides are recorded in the manifest so :meth:`recover`
         rebuilds every series under the same stability configuration.
+    namespace:
+        Label prefixing every durable artefact (WALs, checkpoints, the
+        manifest) this database writes, so multiple databases — the
+        shards of a :class:`~repro.serving.ShardedDatabase` — can share
+        one durability directory without collisions.  The empty default
+        reproduces the historical single-database file names exactly.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed on every series
+        engine this database creates (crash tests inject faults into one
+        shard of a fleet this way).
     """
 
     def __init__(
@@ -130,6 +146,8 @@ class TimeSeriesDatabase:
         telemetry: Telemetry | None = None,
         durability_dir: str | None = None,
         stability: dict | None = None,
+        namespace: str = "",
+        fault_plan: object | None = None,
     ) -> None:
         if memory_budget_per_series < 2:
             raise EngineError("memory_budget_per_series must be >= 2")
@@ -140,6 +158,8 @@ class TimeSeriesDatabase:
         self.auto_tune = auto_tune
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.durability_dir = durability_dir
+        self.namespace = namespace
+        self.fault_plan = fault_plan
         if durability_dir:
             os.makedirs(durability_dir, exist_ok=True)
         self._series: dict[str, SeriesState] = {}
@@ -172,6 +192,7 @@ class TimeSeriesDatabase:
             sstable_size=self.config.sstable_size,
             seq_capacity=seq_capacity,
             wal_path=self._wal_path(name),
+            fault_plan=self.fault_plan,
         ).with_stability(**self.stability)
         analyzer = (
             DelayAnalyzer(
@@ -319,6 +340,7 @@ class TimeSeriesDatabase:
                 run=old.run,
                 start_id=old.ingested_points,
                 telemetry=self.telemetry,
+                faults=old.faults,
             )
         else:
             state.engine = ConventionalEngine(
@@ -329,6 +351,7 @@ class TimeSeriesDatabase:
                 run=old.run,
                 start_id=old.ingested_points,
                 telemetry=self.telemetry,
+                faults=old.faults,
             )
         # The replacement engine appends to the same WAL file; release
         # the superseded engine's handle so only one writer holds it.
@@ -336,19 +359,95 @@ class TimeSeriesDatabase:
             old.wal.close()
         return True
 
+    def resize_series(
+        self,
+        name: str,
+        memory_budget: int,
+        seq_capacity: int | None = None,
+    ) -> bool:
+        """Re-budget one series' MemTables at a flush boundary.
+
+        The live engine is drained (``flush_all`` — the flush boundary)
+        and rebuilt with the new budget, carrying its :class:`WriteStats`,
+        on-disk run and arrival cursor over unchanged, so WA accounting
+        and ``verify()`` stay exact across the resize.  ``seq_capacity``
+        switches the series to ``pi_s(seq_capacity)`` (or re-splits an
+        already separated series); omitted it keeps the current policy,
+        scaling an existing ``C_seq`` to preserve its budget share.
+        Returns False (and touches nothing) when the budget and split are
+        already in place.
+        """
+        if memory_budget < 2:
+            raise EngineError("memory_budget must be >= 2")
+        state = self.series(name)
+        old = state.engine
+        if seq_capacity is None and isinstance(old, SeparationEngine):
+            seq_capacity = max(
+                1,
+                min(
+                    memory_budget - 1,
+                    round(
+                        memory_budget
+                        * old.seq_capacity
+                        / state.config.memory_budget
+                    ),
+                ),
+            )
+        if memory_budget == state.config.memory_budget and (
+            (seq_capacity is None and not isinstance(old, SeparationEngine))
+            or (
+                isinstance(old, SeparationEngine)
+                and old.seq_capacity == seq_capacity
+            )
+        ):
+            return False
+        config = replace(
+            state.config, memory_budget=memory_budget, seq_capacity=seq_capacity
+        )
+        old.flush_all()
+        engine_cls = SeparationEngine if seq_capacity is not None else ConventionalEngine
+        state.engine = engine_cls(
+            config,
+            stats=old.stats,
+            run=old.run,
+            start_id=old.ingested_points,
+            telemetry=self.telemetry,
+            faults=old.faults,
+        )
+        if old.wal is not None:
+            old.wal.close()
+        state.config = config
+        if state.analyzer is not None:
+            state.analyzer.memory_budget = memory_budget
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                {
+                    "type": "db.series_resized",
+                    "series": name,
+                    "memory_budget": memory_budget,
+                    "policy": state.policy_label,
+                }
+            )
+            self.telemetry.count("db.resizes")
+        return True
+
     # -- durability ---------------------------------------------------------------------
 
     def _wal_path(self, name: str) -> str | None:
         if not self.durability_dir:
             return None
-        return os.path.join(self.durability_dir, f"{_series_file_stem(name)}.wal")
+        stem = namespaced_stem(name, self.namespace)
+        return os.path.join(self.durability_dir, f"{stem}.wal")
 
     def _checkpoint_path(self, name: str) -> str:
-        return os.path.join(self.durability_dir, f"{_series_file_stem(name)}.ckpt")
+        stem = namespaced_stem(name, self.namespace)
+        return os.path.join(self.durability_dir, f"{stem}.ckpt")
 
     @property
     def _manifest_path(self) -> str:
-        return os.path.join(self.durability_dir, "manifest.json")
+        return os.path.join(
+            self.durability_dir, manifest_filename(self.namespace)
+        )
 
     def checkpoint_all(self) -> str:
         """Checkpoint every series engine and write the manifest.
@@ -365,6 +464,7 @@ class TimeSeriesDatabase:
             "sstable_size": self.config.sstable_size,
             "auto_tune": self.auto_tune,
             "stability": self.stability,
+            "namespace": self.namespace,
             "series": {},
         }
         for state in self._series.values():
@@ -396,6 +496,7 @@ class TimeSeriesDatabase:
         cls,
         durability_dir: str,
         telemetry: Telemetry | None = None,
+        namespace: str = "",
     ) -> "TimeSeriesDatabase":
         """Revive a database from ``durability_dir``.
 
@@ -403,15 +504,24 @@ class TimeSeriesDatabase:
         the checkpoint validates) plus truncating WAL tail replay; a
         corrupt or missing checkpoint falls back to a full WAL replay.
         Every recovered engine is verified before the database is handed
-        back.
+        back.  ``namespace`` selects which database's manifest to read
+        when several share the directory.
         """
         from .recovery import recover_engine
 
-        manifest_path = os.path.join(durability_dir, "manifest.json")
+        manifest_path = os.path.join(
+            durability_dir, manifest_filename(namespace)
+        )
         if not os.path.exists(manifest_path):
             raise RecoveryError(f"no manifest at {manifest_path}")
         with open(manifest_path, "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
+        stored_namespace = manifest.get("namespace", "")
+        if stored_namespace != namespace:
+            raise RecoveryError(
+                f"manifest at {manifest_path} belongs to namespace "
+                f"{stored_namespace!r}, not {namespace!r}"
+            )
         db = cls(
             memory_budget_per_series=manifest["memory_budget_per_series"],
             sstable_size=manifest["sstable_size"],
@@ -419,6 +529,7 @@ class TimeSeriesDatabase:
             telemetry=telemetry,
             durability_dir=durability_dir,
             stability=manifest.get("stability") or None,
+            namespace=namespace,
         )
         for name, entry in manifest["series"].items():
             engine_cls = _engine_registry().get(entry["engine"])

@@ -294,6 +294,20 @@ class WriteAheadLog:
         """Acknowledged records not yet committed to the file."""
         return len(self._pending)
 
+    def size_bytes(self) -> int:
+        """Durable bytes on disk (0 before the first commit).
+
+        Pending group-commit frames are *not* counted — they are exactly
+        the bytes a crash right now would lose.  Fleet reports use this
+        to attribute WAL footprint per shard.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
     @property
     def coalescing_ratio(self) -> float:
         """Mean records per coalesced write (1.0 = per-record commit)."""

@@ -21,13 +21,21 @@ no-op; enable it per engine via
 or process-wide via :func:`configure_telemetry`.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labelled_name,
+    split_labelled,
+)
 from .report import (
     TraceSummary,
     load_trace,
     render_trace_report,
     summarize_trace,
 )
+from .sharding import render_shard_report
 from .stability import (
     StabilitySummary,
     render_stability_report,
@@ -76,4 +84,7 @@ __all__ = [
     "StabilitySummary",
     "summarize_stability",
     "render_stability_report",
+    "labelled_name",
+    "split_labelled",
+    "render_shard_report",
 ]

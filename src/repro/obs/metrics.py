@@ -16,7 +16,39 @@ import math
 
 from ..errors import TelemetryError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "labelled_name",
+    "split_labelled",
+]
+
+
+def labelled_name(name: str, shard: str = "") -> str:
+    """Registry key for ``name`` under a shard label (Prometheus style).
+
+    The empty label (the default everywhere) keys the metric by its bare
+    name, so single-database code and every existing trace consumer see
+    exactly the names they always did.  A non-empty label yields
+    ``name{shard="..."}`` — a *distinct* key per shard, which is what
+    keeps :meth:`MetricsRegistry.merge_snapshot` from silently summing
+    two shards' counters into one row.
+    """
+    if not shard:
+        return name
+    if "{" in shard or '"' in shard:
+        raise TelemetryError(f"invalid shard label {shard!r}")
+    return f'{name}{{shard="{shard}"}}'
+
+
+def split_labelled(key: str) -> tuple[str, str]:
+    """Invert :func:`labelled_name`: ``(bare_name, shard)`` for a key."""
+    if key.endswith('"}') and '{shard="' in key:
+        name, _, label = key.partition('{shard="')
+        return name, label[:-2]
+    return key, ""
 
 #: Default histogram buckets, tuned for millisecond durations: spans in
 #: this library range from microsecond memtable inserts to multi-second
@@ -157,16 +189,18 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as a {other_kind}"
                 )
 
-    def counter(self, name: str) -> Counter:
-        """The counter called ``name``, created on first use."""
+    def counter(self, name: str, shard: str = "") -> Counter:
+        """The counter called ``name`` (per ``shard`` when labelled)."""
+        name = labelled_name(name, shard)
         instrument = self._counters.get(name)
         if instrument is None:
             self._check_free(name, "counter")
             instrument = self._counters[name] = Counter(name)
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge called ``name``, created on first use."""
+    def gauge(self, name: str, shard: str = "") -> Gauge:
+        """The gauge called ``name`` (per ``shard`` when labelled)."""
+        name = labelled_name(name, shard)
         instrument = self._gauges.get(name)
         if instrument is None:
             self._check_free(name, "gauge")
@@ -174,14 +208,32 @@ class MetricsRegistry:
         return instrument
 
     def histogram(
-        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        shard: str = "",
     ) -> Histogram:
-        """The histogram called ``name``, created on first use."""
+        """The histogram called ``name`` (per ``shard`` when labelled)."""
+        name = labelled_name(name, shard)
         instrument = self._histograms.get(name)
         if instrument is None:
             self._check_free(name, "histogram")
             instrument = self._histograms[name] = Histogram(name, buckets)
         return instrument
+
+    def shard_values(self, name: str) -> dict[str, int | float]:
+        """Per-shard values of the counter/gauge family ``name``.
+
+        Returns ``{shard: value}`` over every label the family was
+        recorded under; the unlabelled instrument appears under ``""``.
+        """
+        values: dict[str, int | float] = {}
+        for table in (self._counters, self._gauges):
+            for key, instrument in table.items():
+                bare, shard = split_labelled(key)
+                if bare == name:
+                    values[shard] = instrument.value
+        return values
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot of every instrument (JSON-serialisable)."""

@@ -1,0 +1,103 @@
+"""Render the fleet dashboard for a sharded serving tier.
+
+``repro shard-report <fleet_dir>`` recovers the fleet from its
+durability directory and prints the operator view: one row per shard
+(series, points, disk writes, WA, MemTable budget, WAL bytes,
+backpressure state), fleet totals, and the last memory-arbiter
+rebalance decision recorded in the fleet manifest.  Formatting reuses
+the aligned tables of :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+from .report import _format_cell, _table
+
+__all__ = ["render_shard_report"]
+
+
+def _shard_rows(fleet) -> list[list]:
+    rows = []
+    for index, db in enumerate(fleet.shards):
+        report = db.report()
+        budget = sum(
+            db.series(name).config.memory_budget for name in db.series_names()
+        )
+        wal_bytes = sum(
+            state.engine.wal.size_bytes()
+            for state in (db.series(name) for name in db.series_names())
+            if state.engine.wal is not None
+        )
+        rows.append(
+            [
+                db.namespace or f"shard-{index:02d}",
+                report.series_count,
+                report.total_points,
+                report.total_disk_writes,
+                report.write_amplification,
+                budget,
+                wal_bytes,
+                fleet.shard_backpressure_state(index),
+            ]
+        )
+    return rows
+
+
+def render_shard_report(fleet, source: str = "") -> str:
+    """The plain-text fleet report for a (live or recovered) fleet.
+
+    ``fleet`` is a :class:`~repro.serving.ShardedDatabase`; ``source``
+    labels the report header (e.g. the durability directory).
+    """
+    title = "== shard report"
+    if source:
+        title += f": {source}"
+    rows = _shard_rows(fleet)
+    total_points = sum(row[2] for row in rows)
+    total_writes = sum(row[3] for row in rows)
+    fleet_wa = total_writes / total_points if total_points else float("nan")
+    parts = [
+        title,
+        f"{fleet.n_shards} shards ({fleet.router.mode} routing), "
+        f"{sum(row[1] for row in rows)} series, "
+        f"{total_points} points, fleet WA {_format_cell(fleet_wa)}, "
+        f"admission {fleet.backpressure_state()}",
+        "",
+        _table(
+            [
+                "shard",
+                "series",
+                "points",
+                "disk_writes",
+                "wa",
+                "budget",
+                "wal_bytes",
+                "backpressure",
+            ],
+            rows,
+        ),
+    ]
+    decision = fleet.last_rebalance
+    parts.append("")
+    if decision is None:
+        parts.append("last rebalance: none")
+    else:
+        parts.append(
+            f"last rebalance: tick {decision.get('tick')}, "
+            f"objective {_format_cell(float(decision.get('objective', float('nan'))))}, "
+            f"{len(decision.get('changed', []))} resized "
+            f"of {len(decision.get('budgets', {}))} profiled "
+            f"(total budget {decision.get('total_budget')})"
+        )
+        budgets = decision.get("budgets", {})
+        if budgets:
+            changed = set(decision.get("changed", []))
+            parts.append(
+                _table(
+                    ["series", "budget", "resized"],
+                    [
+                        [name, budgets[name], "yes" if name in changed else ""]
+                        for name in sorted(budgets)
+                    ],
+                )
+            )
+    return "\n".join(parts)

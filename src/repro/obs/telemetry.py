@@ -80,9 +80,9 @@ class Span:
             event["error"] = exc_type.__name__
         event.update(self.fields)
         telemetry.emit(event)
-        telemetry.registry.histogram(f"span.{self.name}.ms").observe(
-            self.duration_ms
-        )
+        telemetry.registry.histogram(
+            f"span.{self.name}.ms", shard=telemetry.shard
+        ).observe(self.duration_ms)
         return False
 
 
@@ -119,6 +119,7 @@ class Telemetry:
         registry: MetricsRegistry | None = None,
         enabled: bool = True,
         clock=time.monotonic,
+        shard: str = "",
     ) -> None:
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -127,6 +128,9 @@ class Telemetry:
         self._epoch = clock()
         self._seq = 0
         self._depth = 0
+        #: Shard label stamped on every event and metric this bus
+        #: records (``""`` = unlabelled, the single-database default).
+        self.shard = shard
 
     # -- events ---------------------------------------------------------------
 
@@ -138,6 +142,8 @@ class Telemetry:
             "seq": self._seq,
             "ts_ms": (self._clock() - self._epoch) * 1_000.0,
         }
+        if self.shard and "shard" not in event:
+            stamped["shard"] = self.shard
         stamped.update(event)
         self._seq += 1
         for sink in self.sinks:
@@ -154,17 +160,34 @@ class Telemetry:
     def count(self, name: str, amount: int | float = 1) -> None:
         """Increment the counter ``name`` (no-op when disabled)."""
         if self.enabled:
-            self.registry.counter(name).inc(amount)
+            self.registry.counter(name, shard=self.shard).inc(amount)
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` (no-op when disabled)."""
         if self.enabled:
-            self.registry.gauge(name).set(value)
+            self.registry.gauge(name, shard=self.shard).set(value)
 
     def observe(self, name: str, value: float) -> None:
         """Observe ``value`` in the histogram ``name`` (no-op when disabled)."""
         if self.enabled:
-            self.registry.histogram(name).observe(value)
+            self.registry.histogram(name, shard=self.shard).observe(value)
+
+    # -- shard views ----------------------------------------------------------
+
+    def for_shard(self, shard: str) -> "Telemetry":
+        """A labelled view of this bus for one shard.
+
+        The view shares the parent's registry, sinks, clock and sequence
+        numbers — it *is* the same bus — but every metric it records is
+        keyed per shard (:func:`~repro.obs.metrics.labelled_name`) and
+        every event it emits carries a ``shard`` field, so a fleet of
+        engines reporting through per-shard views stays distinguishable
+        after any :meth:`~repro.obs.MetricsRegistry.merge_snapshot`.
+        The disabled bus returns itself (still a no-op).
+        """
+        if not self.enabled or not shard:
+            return self
+        return _ShardView(self, shard)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -220,6 +243,36 @@ class Telemetry:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "on" if self.enabled else "off"
         return f"Telemetry({state}, sinks={len(self.sinks)}, events={self._seq})"
+
+
+class _ShardView(Telemetry):
+    """Labelled window onto a parent bus (see :meth:`Telemetry.for_shard`).
+
+    Delegates event publication to the parent (one shared ``seq``
+    stream, so a fleet trace stays totally ordered) and records metrics
+    into the parent's registry under the shard label.  Views do not own
+    the sinks: :meth:`close` is a no-op.
+    """
+
+    def __init__(self, parent: Telemetry, shard: str) -> None:
+        self._parent = parent
+        self.enabled = parent.enabled
+        self.registry = parent.registry
+        self.sinks = parent.sinks
+        self._clock = parent._clock
+        self._epoch = parent._epoch
+        self._depth = 0
+        self.shard = shard
+
+    def emit(self, event: dict) -> None:
+        if not self.enabled:
+            return
+        if self.shard and "shard" not in event:
+            event = {"shard": self.shard, **event}
+        self._parent.emit(event)
+
+    def close(self) -> None:
+        """No-op: the parent bus owns the sinks."""
 
 
 #: The shared disabled bus; every operation is a no-op.

@@ -12,6 +12,8 @@ The scale-out layer every batch entry point routes through:
   ``python -m repro run-all --workers N``;
 * :func:`sweep_wa_vs_nseq_parallel` — one worker per ``n_seq``
   candidate (also reachable via ``sweep_wa_vs_nseq(..., workers=N)``);
+* :func:`ingest_fleet_parallel` — one worker per serving-tier shard;
+  the loaded fleet is re-attached through the recovery protocol;
 * the crash-test matrix accepts ``workers=`` directly
   (:func:`repro.faults.crashtest.run_crash_test`).
 
@@ -29,9 +31,11 @@ from .cache import (
 )
 from .experiments import ExperimentRun, run_experiments
 from .pool import Task, resolve_workers, run_tasks, task_seed
+from .shards import ingest_fleet_parallel
 from .sweep import sweep_wa_vs_nseq_parallel
 
 __all__ = [
+    "ingest_fleet_parallel",
     "Task",
     "run_tasks",
     "resolve_workers",

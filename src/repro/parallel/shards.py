@@ -1,0 +1,113 @@
+"""Parallel fleet ingest: one worker process per shard.
+
+Shards are independent by construction (own WAL directory, own
+checkpoint namespace, no shared engine state), which makes the fleet
+the natural unit of process parallelism: each worker builds one shard's
+:class:`~repro.lsm.database.TimeSeriesDatabase`, ingests that shard's
+routed slice of the batch, syncs and checkpoints it, and hands its
+telemetry snapshot back.  The parent then writes the fleet manifest and
+attaches to the on-disk fleet via
+:meth:`~repro.serving.ShardedDatabase.recover` — so the returned fleet
+went through exactly the recovery protocol the conformance and crash
+tests pin down, and is bit-identical to a serial
+:meth:`~repro.serving.ShardedDatabase.ingest_batch` run over the same
+batch (same router, same per-shard write order).
+
+Worker telemetry is recorded on per-shard labelled views of each
+worker's bus, so after :meth:`~repro.obs.Telemetry.absorb` the parent's
+registry carries the same ``{shard="..."}`` keyed counters a serial
+fleet run would have produced.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..lsm.database import TimeSeriesDatabase
+from ..obs.telemetry import global_telemetry
+from ..serving.database import ShardedDatabase, write_fleet_manifest
+from ..serving.router import ShardRouter, shard_name
+from .pool import Task, run_tasks
+
+__all__ = ["ingest_fleet_parallel"]
+
+
+def _ingest_shard(
+    shard_dir: str,
+    namespace: str,
+    entries: list[tuple],
+    db_kwargs: dict,
+) -> dict:
+    """Worker task: build, load, sync and checkpoint one shard.
+
+    Reports through the worker's process-global bus (installed per task
+    by the pool) under the shard's label, so absorbed metrics land on
+    the same keys a serial fleet run uses.
+    """
+    telemetry = global_telemetry().for_shard(namespace)
+    db = TimeSeriesDatabase(
+        telemetry=telemetry,
+        durability_dir=shard_dir,
+        namespace=namespace,
+        **db_kwargs,
+    )
+    points = 0
+    for entry in entries:
+        name, tg = entry[0], np.ascontiguousarray(entry[1], dtype=np.float64)
+        ta = entry[2] if len(entry) > 2 else None
+        db.write(name, tg, ta)
+        points += int(tg.size)
+    db.sync()
+    db.checkpoint_all()
+    return {"namespace": namespace, "series": len(db), "points": points}
+
+
+def ingest_fleet_parallel(
+    durability_dir: str,
+    batch: list[tuple],
+    n_shards: int = 4,
+    router: ShardRouter | None = None,
+    workers: int | None = None,
+    memory_budget_per_series: int = 512,
+    sstable_size: int = 512,
+    auto_tune: bool = True,
+    stability: dict | None = None,
+    telemetry=None,
+) -> ShardedDatabase:
+    """Fan one multi-series batch out across shard worker processes.
+
+    ``batch`` is a list of ``(name, tg)`` / ``(name, tg, ta)`` entries;
+    routing and per-shard order match :meth:`ShardedDatabase.
+    ingest_batch` exactly.  Every shard gets a task (an empty shard
+    still writes its manifest, so recovery sees the full fleet), results
+    return in shard order, and ``workers<=1`` is the serial reference
+    path.  Returns the recovered :class:`ShardedDatabase` over
+    ``durability_dir``.
+    """
+    router = router if router is not None else ShardRouter(n_shards)
+    os.makedirs(durability_dir, exist_ok=True)
+    parts = router.split_batch(list(batch))
+    db_kwargs = {
+        "memory_budget_per_series": memory_budget_per_series,
+        "sstable_size": sstable_size,
+        "auto_tune": auto_tune,
+        "stability": stability,
+    }
+    tasks = [
+        Task(
+            fn=_ingest_shard,
+            args=(
+                os.path.join(durability_dir, shard_name(index)),
+                shard_name(index),
+                parts.get(index, []),
+                db_kwargs,
+            ),
+            label=shard_name(index),
+        )
+        for index in range(router.n_shards)
+    ]
+    run_tasks(tasks, workers=workers, telemetry=telemetry)
+    write_fleet_manifest(durability_dir, router, stability=stability)
+    return ShardedDatabase.recover(durability_dir, telemetry=telemetry)

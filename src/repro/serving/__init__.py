@@ -1,0 +1,15 @@
+"""The sharded multi-tenant serving tier.
+
+Scales the single-process :class:`~repro.lsm.database.TimeSeriesDatabase`
+out to a fleet: deterministic series → shard routing
+(:mod:`repro.serving.router`), a batched ingest front-end with
+per-shard group commit, an online memory arbiter re-dividing the
+fleet's MemTable budget from observed telemetry, and fleet-level
+durability (per-shard namespaces + one fleet manifest)
+(:mod:`repro.serving.database`).  See ``docs/serving.md``.
+"""
+
+from .database import FLEET_MANIFEST, ShardedDatabase
+from .router import ShardRouter, shard_name
+
+__all__ = ["ShardedDatabase", "ShardRouter", "shard_name", "FLEET_MANIFEST"]

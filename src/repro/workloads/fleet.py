@@ -30,12 +30,22 @@ def generate_fleet(
     dt: float = 1000.0,
     disordered_fraction: float = 0.4,
     seed: int = 0,
+    hot_fraction: float = 0.0,
+    hot_rate_multiplier: int = 1,
 ) -> dict[str, TimeSeriesDataset]:
     """Generate a heterogeneous multi-series workload.
 
     ``disordered_fraction`` of the series get lognormal delays severe
     enough to create out-of-order points (severity varies per series);
     the rest get sub-interval uniform jitter (always in order).
+
+    ``hot_fraction``/``hot_rate_multiplier`` add arrival-rate skew for
+    the memory-arbiter experiments: the first ``round(n_series *
+    hot_fraction)`` series — a slice of the disordered cohort, the
+    series whose WA is buffer-size sensitive — produce
+    ``hot_rate_multiplier``× the points of the rest, so a budget that
+    follows the workload beats any static equal split.  The defaults
+    (no hot cohort) reproduce the historical fleets byte-for-byte.
     """
     if n_series < 1:
         raise WorkloadError(f"n_series must be >= 1, got {n_series}")
@@ -43,9 +53,18 @@ def generate_fleet(
         raise WorkloadError(
             f"disordered_fraction must be in [0, 1], got {disordered_fraction}"
         )
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise WorkloadError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+    if hot_rate_multiplier < 1:
+        raise WorkloadError(
+            f"hot_rate_multiplier must be >= 1, got {hot_rate_multiplier}"
+        )
     rng = np.random.default_rng(seed)
     fleet: dict[str, TimeSeriesDataset] = {}
     n_disordered = int(round(n_series * disordered_fraction))
+    n_hot = int(round(n_series * hot_fraction))
     for index in range(n_series):
         name = f"series-{index:04d}"
         if index < n_disordered:
@@ -56,8 +75,11 @@ def generate_fleet(
             delay = LogNormalDelay(mu=mu, sigma=sigma)
         else:
             delay = UniformDelay(low=0.0, high=0.5 * dt)
+        points = points_per_series * (
+            hot_rate_multiplier if index < n_hot else 1
+        )
         fleet[name] = generate_synthetic(
-            points_per_series,
+            points,
             dt=dt,
             delay=delay,
             seed=int(rng.integers(0, 2**31)),

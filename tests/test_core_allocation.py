@@ -1,9 +1,11 @@
-"""Tests for the fleet memory allocator."""
+"""Tests for the fleet memory allocator and the online arbiter."""
 
 import pytest
 
 from repro import LogNormalDelay, UniformDelay
 from repro.core.allocation import (
+    MemoryArbiter,
+    RebalanceDecision,
     SeriesAllocation,
     SeriesWorkload,
     allocate_budgets,
@@ -100,3 +102,135 @@ class TestAllocateBudgets:
         with pytest.raises(ModelError):
             allocate_budgets([_mild("a")], total_budget=100,
                              candidate_budgets=(32,))
+
+
+class TestAllocateBudgetsEdgeCases:
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ModelError):
+            allocate_budgets([_mild("a")], total_budget=0)
+
+    def test_budget_exactly_at_floor(self):
+        # Just enough for the minimum candidate each: nobody upgrades.
+        workloads = [_severe("a"), _severe("b")]
+        allocations = allocate_budgets(
+            workloads, total_budget=64, candidate_budgets=(32, 64, 128)
+        )
+        assert [a.budget for a in allocations] == [32, 32]
+
+    def test_tiny_budget_one_short_of_upgrade(self):
+        # 95 covers the 2x32 floor but not a 32 -> 64 upgrade (needs 96).
+        workloads = [_severe("a"), _severe("b")]
+        allocations = allocate_budgets(
+            workloads, total_budget=95, candidate_budgets=(32, 64, 128)
+        )
+        assert [a.budget for a in allocations] == [32, 32]
+
+    def test_single_series_takes_the_largest_affordable_budget(self):
+        [allocation] = allocate_budgets(
+            [_severe("only")],
+            total_budget=300,
+            candidate_budgets=(32, 64, 128, 256, 512),
+        )
+        # Disordered WA strictly improves with memory, so the one series
+        # climbs to the largest candidate the budget covers.
+        assert allocation.budget == 256
+
+    def test_tied_gains_break_toward_input_order(self):
+        # Identical workloads under a budget that can upgrade only one:
+        # the strict `>` comparison keeps first-seen, so the winner is
+        # whichever appears first in the input list.
+        first_winner = allocate_budgets(
+            [_severe("x"), _severe("y")],
+            total_budget=96,
+            candidate_budgets=(32, 64),
+        )
+        assert [a.budget for a in first_winner] == [64, 32]
+        swapped = allocate_budgets(
+            [_severe("y"), _severe("x")],
+            total_budget=96,
+            candidate_budgets=(32, 64),
+        )
+        assert [a.budget for a in swapped] == [64, 32]
+        assert swapped[0].name == "y"
+
+    def test_allocation_is_deterministic(self):
+        workloads = [_severe("a", rate=2.0), _mild("b"), _severe("c")]
+        first = allocate_budgets(workloads, total_budget=700)
+        second = allocate_budgets(workloads, total_budget=700)
+        assert first == second
+
+
+class TestMemoryArbiter:
+    def test_observe_points_gates_on_the_interval(self):
+        arbiter = MemoryArbiter(total_budget=256, decision_interval=100)
+        assert not arbiter.observe_points(60)
+        assert arbiter.observe_points(40)
+
+    def test_decide_resets_the_interval_and_ticks(self):
+        arbiter = MemoryArbiter(
+            total_budget=256,
+            candidate_budgets=(32, 64, 128),
+            decision_interval=10,
+        )
+        arbiter.observe_points(10)
+        decision = arbiter.decide([_severe("a"), _mild("b")])
+        assert isinstance(decision, RebalanceDecision)
+        assert decision.tick == 1
+        assert not arbiter.observe_points(0)
+        assert decision.budget_for("a") is not None
+        assert decision.budget_for("missing") is None
+
+    def test_changed_lists_only_moved_budgets(self):
+        arbiter = MemoryArbiter(
+            total_budget=256, candidate_budgets=(32, 64, 128)
+        )
+        workloads = [_severe("a"), _mild("b")]
+        first = arbiter.decide(workloads)
+        settled = {a.name: a.budget for a in first.allocations}
+        second = arbiter.decide(workloads, current_budgets=settled)
+        assert second.changed == ()
+        third = arbiter.decide(
+            workloads, current_budgets={name: 32 for name in settled}
+        )
+        assert set(third.changed) == {
+            name for name, budget in settled.items() if budget != 32
+        }
+
+    def test_converges_to_the_one_shot_solution_when_stationary(self):
+        # Property: on a stationary workload the online arbiter reaches
+        # the one-shot allocation in one decision and never moves again.
+        workloads = [
+            _severe("noisy-0", rate=4.0),
+            _severe("noisy-1"),
+            _mild("clean-0"),
+            _mild("clean-1", rate=2.0),
+        ]
+        candidates = (32, 64, 128, 256)
+        one_shot = {
+            a.name: a.budget
+            for a in allocate_budgets(
+                workloads, total_budget=512, candidate_budgets=candidates
+            )
+        }
+        arbiter = MemoryArbiter(
+            total_budget=512,
+            candidate_budgets=candidates,
+            decision_interval=1,
+        )
+        current: dict[str, int] = {name: 32 for name in one_shot}
+        for tick in range(4):
+            decision = arbiter.decide(workloads, current_budgets=current)
+            for allocation in decision.allocations:
+                current[allocation.name] = allocation.budget
+            assert current == one_shot
+            if tick > 0:
+                assert decision.changed == ()
+            assert decision.objective == pytest.approx(
+                fleet_objective(list(decision.allocations), workloads)
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            MemoryArbiter(total_budget=1)
+        with pytest.raises(ModelError):
+            MemoryArbiter(total_budget=256, decision_interval=0)

@@ -1,0 +1,460 @@
+"""Tests for the sharded serving tier and its memory arbiter.
+
+The load-bearing property is *shard independence*: an N-shard
+:class:`~repro.serving.ShardedDatabase` run must be bit-identical, shard
+by shard (write amplification, per-point write counters, checkpoint
+bytes, ``verify()``), to N standalone single-shard databases run over
+the same routed partitions.  Everything the serving tier adds — routing,
+fleet manifests, the online arbiter, parallel ingest, the fleet crash
+matrix — is checked against that invariant here.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import MemoryArbiter
+from repro.distributions import ExponentialDelay, LogNormalDelay, UniformDelay
+from repro.errors import EngineError, RecoveryError, TelemetryError
+from repro.faults.crashtest import FLEET_FAULT_KINDS, run_fleet_crash_case
+from repro.lsm.database import TimeSeriesDatabase, manifest_filename
+from repro.obs.sharding import render_shard_report
+from repro.obs.sinks import RingBufferSink
+from repro.obs.telemetry import Telemetry
+from repro.parallel import ingest_fleet_parallel
+from repro.serving import (
+    FLEET_MANIFEST,
+    ShardRouter,
+    ShardedDatabase,
+    shard_name,
+)
+from repro.workloads import generate_synthetic
+
+#: Small buffers: a few thousand points exercise many flushes/merges.
+_DB_KWARGS = dict(memory_budget_per_series=64, sstable_size=32)
+
+
+def _datasets(names, n_points=1500, disordered=True, base_seed=11):
+    delay = (
+        ExponentialDelay(mean=40.0) if disordered else UniformDelay(0.0, 0.5)
+    )
+    return {
+        name: generate_synthetic(
+            n_points, dt=1.0, delay=delay, seed=base_seed + index, name=name
+        )
+        for index, name in enumerate(names)
+    }
+
+
+def _rounds(datasets, chunk=400, with_ta=False):
+    """Multi-series ingest rounds, every series advancing in lock-step."""
+    n_points = len(next(iter(datasets.values())).tg)
+    rounds = []
+    for pos in range(0, n_points, chunk):
+        region = slice(pos, pos + chunk)
+        rounds.append(
+            [
+                (name, ds.tg[region], ds.ta[region])
+                if with_ta
+                else (name, ds.tg[region])
+                for name, ds in datasets.items()
+            ]
+        )
+    return rounds
+
+
+class TestShardRouter:
+    def test_hash_routing_is_stable_across_instances(self):
+        names = [f"series-{i}" for i in range(40)]
+        a = ShardRouter(4)
+        b = ShardRouter(4)
+        assert [a.shard_of(n) for n in names] == [b.shard_of(n) for n in names]
+        assert all(0 <= a.shard_of(n) < 4 for n in names)
+
+    def test_hash_routing_spreads_series(self):
+        router = ShardRouter(4)
+        hit = {router.shard_of(f"series-{i:03d}") for i in range(64)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_range_routing_uses_boundaries(self):
+        router = ShardRouter(3, mode="range", boundaries=["g", "p"])
+        assert router.shard_of("alpha") == 0
+        assert router.shard_of("golf") == 1
+        assert router.shard_of("zulu") == 2
+
+    def test_split_batch_preserves_per_shard_order(self):
+        router = ShardRouter(2)
+        batch = [(f"s{i}", np.arange(3.0) + i) for i in range(8)]
+        parts = router.split_batch(batch)
+        for index, entries in parts.items():
+            expected = [e for e in batch if router.shard_of(e[0]) == index]
+            assert [e[0] for e in entries] == [e[0] for e in expected]
+
+    def test_round_trips_through_dict(self):
+        router = ShardRouter(3, mode="range", boundaries=["g", "p"])
+        clone = ShardRouter.from_dict(router.as_dict())
+        for name in ("alpha", "golf", "pike", "zulu"):
+            assert clone.shard_of(name) == router.shard_of(name)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(EngineError):
+            ShardRouter(0)
+        with pytest.raises(EngineError):
+            ShardRouter(2, mode="nope")
+        with pytest.raises(EngineError):
+            ShardRouter(3, mode="range", boundaries=["x"])
+        with pytest.raises(EngineError):
+            ShardRouter(3, mode="range", boundaries=["p", "g"])
+
+
+class TestShardConformance:
+    """The tier invariant, across three engine policy triples.
+
+    ``pi_c`` runs every series conventional, ``pi_s`` pins every series
+    to separation with a fixed split, and ``tuned`` lets the mid-run
+    retune switch disordered series to separation — so the comparison
+    covers the conventional triple, the separation triple and the
+    tuned mix of both.
+    """
+
+    MODES = ("pi_c", "pi_s", "tuned")
+
+    def _run_pair(self, tmp_path, mode):
+        names = [f"series-{i:02d}" for i in range(5)]
+        datasets = _datasets(names)
+        rounds = _rounds(datasets, with_ta=(mode == "tuned"))
+        router = ShardRouter(3)
+        auto_tune = mode == "tuned"
+
+        fleet = ShardedDatabase(
+            router=router,
+            auto_tune=auto_tune,
+            durability_dir=str(tmp_path / "fleet"),
+            **_DB_KWARGS,
+        )
+        solos = [
+            TimeSeriesDatabase(
+                auto_tune=auto_tune,
+                durability_dir=str(tmp_path / "solo" / shard_name(index)),
+                namespace=shard_name(index),
+                **_DB_KWARGS,
+            )
+            for index in range(router.n_shards)
+        ]
+        if mode == "pi_s":
+            for name in names:
+                fleet.database_for(name).create_series(name, seq_capacity=16)
+                solos[router.shard_of(name)].create_series(
+                    name, seq_capacity=16
+                )
+        retune_at = len(rounds) // 2
+        for rnd, batch in enumerate(rounds):
+            fleet.ingest_batch(batch)
+            # The solo runs replicate ingest_batch exactly: routed
+            # slices, per-shard input order, one sync per shard slice.
+            parts = router.split_batch(batch)
+            for index in sorted(parts):
+                for entry in parts[index]:
+                    solos[index].write(entry[0], entry[1], *entry[2:])
+                solos[index].sync()
+            if mode == "tuned" and rnd + 1 == retune_at:
+                fleet.retune(min_observations=512)
+                for solo in solos:
+                    solo.retune(min_observations=512)
+        return fleet, solos, names, router
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_fleet_matches_standalone_shards(self, tmp_path, mode):
+        fleet, solos, names, router = self._run_pair(tmp_path, mode)
+        assert len(fleet) == len(names)
+        for name in names:
+            sharded = fleet.database_for(name).series(name).engine
+            solo = solos[router.shard_of(name)].series(name).engine
+            sharded.verify()
+            solo.verify()
+            assert type(sharded) is type(solo)
+            assert sharded.ingested_points == solo.ingested_points
+            assert sharded.stats.disk_writes == solo.stats.disk_writes
+            assert np.array_equal(
+                sharded.stats.write_counts, solo.stats.write_counts
+            )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_checkpoint_bytes_identical(self, tmp_path, mode):
+        fleet, solos, _, router = self._run_pair(tmp_path, mode)
+        fleet.checkpoint_all()
+        for solo in solos:
+            solo.checkpoint_all()
+        for index in range(router.n_shards):
+            shard_dir = tmp_path / "fleet" / shard_name(index)
+            solo_dir = tmp_path / "solo" / shard_name(index)
+            shard_files = sorted(os.listdir(shard_dir))
+            assert shard_files == sorted(os.listdir(solo_dir))
+            for file_name in shard_files:
+                assert (shard_dir / file_name).read_bytes() == (
+                    solo_dir / file_name
+                ).read_bytes(), f"{shard_name(index)}/{file_name} diverged"
+
+
+class TestNamespaceCollision:
+    """Regression: databases sharing one directory must not collide."""
+
+    def test_namespaced_databases_share_a_directory(self, tmp_path):
+        shared = str(tmp_path)
+        names = ["sensor", "sensor.2"]
+        first = TimeSeriesDatabase(
+            durability_dir=shared, namespace="shard-00", **_DB_KWARGS
+        )
+        second = TimeSeriesDatabase(
+            durability_dir=shared, namespace="shard-01", **_DB_KWARGS
+        )
+        data = _datasets(names, n_points=600)
+        for name in names:
+            first.write(name, data[name].tg)
+            second.write(name, data[name].tg[:300])
+        first.sync()
+        second.sync()
+        first.checkpoint_all()
+        second.checkpoint_all()
+        # Same series names, same directory — every file still distinct.
+        assert manifest_filename("shard-00") != manifest_filename("shard-01")
+        assert len(os.listdir(shared)) == 2 * (2 * len(names) + 1)
+        for namespace, points in (("shard-00", 600), ("shard-01", 300)):
+            recovered = TimeSeriesDatabase.recover(
+                shared, namespace=namespace
+            )
+            assert sorted(recovered.series_names()) == sorted(names)
+            for name in names:
+                engine = recovered.series(name).engine
+                engine.verify()
+                assert engine.ingested_points == points
+
+    def test_recover_rejects_namespace_mismatch(self, tmp_path):
+        db = TimeSeriesDatabase(
+            durability_dir=str(tmp_path), namespace="shard-00", **_DB_KWARGS
+        )
+        db.write("s", np.arange(64.0))
+        db.checkpoint_all()
+        with pytest.raises(RecoveryError):
+            TimeSeriesDatabase.recover(str(tmp_path))
+
+    def test_empty_namespace_keeps_historical_layout(self, tmp_path):
+        db = TimeSeriesDatabase(durability_dir=str(tmp_path), **_DB_KWARGS)
+        db.write("s", np.arange(64.0))
+        db.checkpoint_all()
+        assert manifest_filename() == "manifest.json"
+        assert (tmp_path / "manifest.json").exists()
+        recovered = TimeSeriesDatabase.recover(str(tmp_path))
+        assert recovered.series("s").engine.ingested_points == 64
+
+
+class TestShardLabels:
+    def test_per_shard_counters_stay_distinguishable(self, tmp_path):
+        telemetry = Telemetry(sinks=[RingBufferSink()])
+        fleet = ShardedDatabase(
+            n_shards=2, telemetry=telemetry, **_DB_KWARGS
+        )
+        fleet.ingest_batch(
+            [("left", np.arange(100.0)), ("night", np.arange(50.0))]
+        )
+        values = telemetry.registry.shard_values("db.write.points")
+        assert set(values) == {shard_name(0), shard_name(1)}
+        assert sum(values.values()) == 150
+        assert telemetry.registry.counter("fleet.ingest.points").value == 150
+
+    def test_labels_survive_a_registry_merge(self):
+        telemetry = Telemetry(sinks=[RingBufferSink()])
+        for shard, amount in ((shard_name(0), 7), (shard_name(1), 5)):
+            telemetry.registry.counter("db.write.points", shard=shard).inc(
+                amount
+            )
+        parent = Telemetry(sinks=[RingBufferSink()])
+        parent.registry.merge_snapshot(telemetry.registry.as_dict())
+        merged = parent.registry.shard_values("db.write.points")
+        assert merged == {shard_name(0): 7, shard_name(1): 5}
+
+    def test_label_rejects_metachars(self):
+        telemetry = Telemetry(sinks=[RingBufferSink()])
+        with pytest.raises(TelemetryError):
+            telemetry.registry.counter("db.write.points", shard='ba"d')
+
+
+class TestFleetCrash:
+    """Killing one shard mid-group-commit leaves the rest untouched."""
+
+    @pytest.mark.parametrize("fault", FLEET_FAULT_KINDS)
+    def test_victim_recovers_exactly_survivors_untouched(
+        self, tmp_path, fault
+    ):
+        result = run_fleet_crash_case(fault, seed=0, workdir=str(tmp_path))
+        assert result.crashed, result.describe()
+        assert result.victim_series > 0
+        assert result.survivors_untouched, result.describe()
+        assert result.victim_wa_match, result.describe()
+        assert result.ok, result.describe()
+
+
+class TestFleetRecovery:
+    def test_fleet_round_trips_through_recovery(self, tmp_path):
+        names = [f"series-{i:02d}" for i in range(4)]
+        datasets = _datasets(names, n_points=800)
+        fleet = ShardedDatabase(
+            n_shards=3, durability_dir=str(tmp_path), **_DB_KWARGS
+        )
+        for batch in _rounds(datasets, chunk=300):
+            fleet.ingest_batch(batch)
+        fleet.checkpoint_all()
+        expected = {
+            name: fleet.database_for(name).series(name).engine.ingested_points
+            for name in names
+        }
+        revived = ShardedDatabase.recover(str(tmp_path))
+        assert revived.n_shards == 3
+        assert sorted(revived.series_names()) == sorted(names)
+        for name in names:
+            engine = revived.database_for(name).series(name).engine
+            engine.verify()
+            assert engine.ingested_points == expected[name]
+
+    def test_recover_without_manifest_fails(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            ShardedDatabase.recover(str(tmp_path))
+
+
+class TestParallelIngest:
+    def test_parallel_fleet_matches_serial(self, tmp_path):
+        names = [f"series-{i:02d}" for i in range(6)]
+        datasets = _datasets(names, n_points=900)
+        batch = [(name, datasets[name].tg) for name in names]
+
+        serial = ShardedDatabase(
+            n_shards=3,
+            auto_tune=False,
+            durability_dir=str(tmp_path / "serial"),
+            **_DB_KWARGS,
+        )
+        serial.ingest_batch(batch)
+        serial.checkpoint_all()
+
+        parallel = ingest_fleet_parallel(
+            str(tmp_path / "parallel"),
+            batch,
+            n_shards=3,
+            workers=2,
+            auto_tune=False,
+            memory_budget_per_series=_DB_KWARGS["memory_budget_per_series"],
+            sstable_size=_DB_KWARGS["sstable_size"],
+        )
+        assert sorted(parallel.series_names()) == sorted(names)
+        for name in names:
+            fanned = parallel.database_for(name).series(name).engine
+            reference = serial.database_for(name).series(name).engine
+            fanned.verify()
+            assert fanned.ingested_points == reference.ingested_points
+            assert fanned.stats.disk_writes == reference.stats.disk_writes
+            assert np.array_equal(
+                fanned.stats.write_counts, reference.stats.write_counts
+            )
+
+
+class TestMemoryArbiter:
+    def _skewed_fleet(self, tmp_path=None, arbiter=None):
+        telemetry = Telemetry(sinks=[RingBufferSink()])
+        fleet = ShardedDatabase(
+            n_shards=2,
+            memory_budget_per_series=64,
+            sstable_size=32,
+            auto_tune=True,
+            telemetry=telemetry,
+            durability_dir=str(tmp_path) if tmp_path is not None else None,
+            arbiter=arbiter,
+        )
+        noisy = _datasets(
+            ["noisy-0", "noisy-1"], n_points=2000, base_seed=3
+        )
+        clean = _datasets(
+            ["clean-0", "clean-1"],
+            n_points=2000,
+            disordered=False,
+            base_seed=23,
+        )
+        datasets = {**noisy, **clean}
+        return fleet, datasets
+
+    def test_requires_auto_tune(self):
+        with pytest.raises(EngineError):
+            ShardedDatabase(
+                n_shards=2,
+                auto_tune=False,
+                arbiter=MemoryArbiter(total_budget=256),
+            )
+
+    def test_rejects_fault_plans_outside_fleet(self):
+        with pytest.raises(EngineError):
+            ShardedDatabase(n_shards=2, shard_fault_plans={5: object()})
+
+    def test_rebalance_moves_memory_to_disordered_series(self, tmp_path):
+        arbiter = MemoryArbiter(
+            total_budget=4 * 64,
+            candidate_budgets=(32, 64, 128),
+            decision_interval=4000,
+            min_observations=512,
+        )
+        fleet, datasets = self._skewed_fleet(tmp_path, arbiter)
+        for batch in _rounds(datasets, chunk=500, with_ta=True):
+            fleet.ingest_batch(batch)
+        assert fleet.last_rebalance is not None
+        budgets = {
+            name: fleet.database_for(name).series(name).config.memory_budget
+            for name in datasets
+        }
+        assert sum(budgets.values()) <= arbiter.total_budget
+        for noisy in ("noisy-0", "noisy-1"):
+            for clean in ("clean-0", "clean-1"):
+                assert budgets[noisy] > budgets[clean], budgets
+        # Resizes preserved exact WA accounting: every engine verifies
+        # and still holds its full ingest history.
+        for name in datasets:
+            engine = fleet.database_for(name).series(name).engine
+            engine.verify()
+            assert engine.ingested_points == 2000
+        assert fleet.telemetry.registry.counter("arbiter.decisions").value > 0
+
+    def test_decision_persists_through_fleet_manifest(self, tmp_path):
+        arbiter = MemoryArbiter(
+            total_budget=4 * 64,
+            candidate_budgets=(32, 64, 128),
+            decision_interval=4000,
+            min_observations=512,
+        )
+        fleet, datasets = self._skewed_fleet(tmp_path, arbiter)
+        for batch in _rounds(datasets, chunk=500, with_ta=True):
+            fleet.ingest_batch(batch)
+        fleet.checkpoint_all()
+        with open(tmp_path / FLEET_MANIFEST, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["last_rebalance"]["tick"] >= 1
+        revived = ShardedDatabase.recover(str(tmp_path))
+        assert revived.last_rebalance == fleet.last_rebalance
+
+    def test_shard_report_renders(self, tmp_path):
+        arbiter = MemoryArbiter(
+            total_budget=4 * 64,
+            candidate_budgets=(32, 64, 128),
+            decision_interval=4000,
+            min_observations=512,
+        )
+        fleet, datasets = self._skewed_fleet(tmp_path, arbiter)
+        for batch in _rounds(datasets, chunk=500, with_ta=True):
+            fleet.ingest_batch(batch)
+        report = render_shard_report(fleet, source="test-fleet")
+        assert "shard-00" in report and "shard-01" in report
+        assert "last rebalance: tick" in report
+        assert "test-fleet" in report
+
+    def test_backpressure_rolls_up_worst_state(self):
+        fleet, _ = self._skewed_fleet()
+        fleet.write("s", np.arange(64.0))
+        assert fleet.backpressure_state() == "healthy"
