@@ -477,3 +477,101 @@ def test_perf_arbiter_rebalance(benchmark):
 
     decision = benchmark(decide)
     assert decision.allocations
+
+
+@pytest.fixture(scope="module")
+def federated_fleet():
+    """A 4-shard fleet and its unsharded twin, loaded and flushed.
+
+    Small SSTables (256 points) over 8x100k points make the per-shard
+    aggregate scan genuinely CPU-bound (hundreds of per-table partials),
+    which is the regime where scatter-gather across workers pays.
+    """
+    from repro.lsm.database import TimeSeriesDatabase
+    from repro.serving import ShardedDatabase
+
+    fleet = ShardedDatabase(
+        n_shards=4, memory_budget_per_series=2048, sstable_size=256
+    )
+    reference = TimeSeriesDatabase(
+        memory_budget_per_series=2048, sstable_size=256
+    )
+    for index in range(8):
+        data = generate_synthetic(
+            100_000, dt=_DT, delay=_DELAY, seed=40 + index
+        )
+        name = f"sensor-{index:02d}"
+        fleet.write(name, data.tg)
+        reference.write(name, data.tg)
+    fleet.flush_all()
+    reference.flush_all()
+    yield fleet, reference
+    fleet.federation.close()
+
+
+def _best_seconds(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_federated_agg(benchmark, federated_fleet):
+    """Fleet-wide federated aggregate: scatter-gather vs sequential.
+
+    The exactness contract is asserted unconditionally: the federated
+    answer — float ``total`` included — equals the serial single-
+    database fold bit for bit.  The >=2x speedup over sequential
+    per-shard querying is asserted only where >=4 CPUs are actually
+    schedulable (the CI runners); on smaller hosts the timings are
+    still recorded in ``extra_info`` for the trajectory.
+    """
+    import os
+
+    from repro.query import aggregate_over_series
+
+    fleet, reference = federated_fleet
+    expected = aggregate_over_series(reference)
+
+    def sequential():
+        return fleet.query_aggregate(workers=1, use_cache=False)
+
+    def federated():
+        return fleet.query_aggregate(workers=4, use_cache=False)
+
+    federated()  # build and warm the fork pool outside the timings
+    serial_s = _best_seconds(sequential)
+    parallel_s = _best_seconds(federated)
+    speedup = serial_s / parallel_s
+    result = benchmark(federated)
+    assert result == expected  # bitwise, float sum included
+    benchmark.extra_info["serial_ms"] = serial_s * 1e3
+    benchmark.extra_info["parallel_ms"] = parallel_s * 1e3
+    benchmark.extra_info["speedup"] = speedup
+    if len(os.sched_getaffinity(0)) >= 4:
+        assert speedup >= 2.0
+
+
+def test_perf_federated_scatter(benchmark, federated_fleet):
+    """Fleet-wide collected range scan through the scatter path.
+
+    Exercises the heavy half of federation: per-shard row collection,
+    cross-process row transfer, and the stable k-way merge in ``t_g``
+    order.  The merged rows must be identical to the serial
+    single-database scan.
+    """
+    from repro.query import scan_over_series
+
+    fleet, reference = federated_fleet
+    expected = scan_over_series(reference, collect=True)
+
+    def scatter():
+        return fleet.query_range(collect=True, workers=4, use_cache=False)
+
+    scatter()  # warm the pool
+    stats = benchmark(scatter)
+    assert stats.result_points == expected.result_points
+    assert np.array_equal(stats.rows, expected.rows)
+    assert np.array_equal(stats.row_ids, expected.row_ids)

@@ -17,6 +17,7 @@ Usage::
     python -m repro checkpoint --dir state/
     python -m repro recover --dir state/
     python -m repro shard-report --dir fleet/
+    python -m repro federated-report --shards 4 --workers 4
     python -m repro engines
     python -m repro cold-report --points 200000 --block-size 256
 """
@@ -24,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 
@@ -45,7 +47,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "experiment id (see 'list'), 'all', 'list', or a subcommand: "
             "'run-all', 'telemetry-report <trace.jsonl>', "
             "'stability-report <trace.jsonl>', 'crash-test', "
-            "'checkpoint', 'recover', 'shard-report', 'engines'"
+            "'checkpoint', 'recover', 'shard-report', "
+            "'federated-report', 'engines'"
         ),
     )
     parser.add_argument(
@@ -578,6 +581,119 @@ def _cold_report(argv: list[str]) -> int:
     return 0 if identical else 1
 
 
+def _build_federated_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments federated-report",
+        description=(
+            "Demonstrate cross-shard query federation: ingest a "
+            "synthetic multi-series workload into a sharded fleet, run "
+            "fleet-wide aggregate and range queries through the "
+            "scatter-gather executor, verify every answer bitwise "
+            "against a single unsharded database, and print per-shard "
+            "latency/cache attribution"
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="fleet width (default 4)"
+    )
+    parser.add_argument(
+        "--series", type=int, default=8,
+        help="series count (default 8)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=4000,
+        help="points per series (default 4000)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=16,
+        help="query windows per pass (default 16)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="scatter width; 1 = serial inline (default 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default 0)"
+    )
+    return parser
+
+
+def _federated_report(argv: list[str]) -> int:
+    """The ``federated-report`` subcommand; returns an exit code."""
+    import numpy as np
+
+    from .distributions import ExponentialDelay
+    from .lsm.database import TimeSeriesDatabase
+    from .obs.sharding import render_federation_report
+    from .obs.telemetry import Telemetry
+    from .query.merge import aggregate_over_series, scan_over_series
+    from .serving import ShardedDatabase
+    from .workloads import generate_synthetic
+
+    args = _build_federated_report_parser().parse_args(argv)
+    fleet = ShardedDatabase(
+        n_shards=args.shards,
+        memory_budget_per_series=256,
+        sstable_size=256,
+        telemetry=Telemetry(sinks=[]),
+    )
+    reference = TimeSeriesDatabase(
+        memory_budget_per_series=256, sstable_size=256
+    )
+    names = [f"sensor-{i:03d}" for i in range(args.series)]
+    lo_all, hi_all = math.inf, -math.inf
+    for offset, name in enumerate(names):
+        stream = generate_synthetic(
+            args.points,
+            dt=50.0,
+            delay=ExponentialDelay(200.0),
+            seed=args.seed + offset,
+        )
+        fleet.write(name, stream.tg)
+        reference.write(name, stream.tg)
+        lo_all = min(lo_all, float(stream.tg.min()))
+        hi_all = max(hi_all, float(stream.tg.max()))
+    span = hi_all - lo_all
+    rng = np.random.default_rng(args.seed)
+    windows = [
+        (lo, lo + 0.4 * span)
+        for lo in rng.uniform(lo_all, hi_all - 0.4 * span, size=args.windows)
+    ]
+
+    started = time.perf_counter()
+    federated = [
+        (
+            fleet.query_aggregate(lo=lo, hi=hi, workers=args.workers),
+            fleet.query_range(lo=lo, hi=hi, collect=True, workers=args.workers),
+        )
+        for lo, hi in windows
+    ]
+    federated_s = time.perf_counter() - started
+    started = time.perf_counter()
+    serial = [
+        (
+            aggregate_over_series(reference, lo=lo, hi=hi),
+            scan_over_series(reference, lo=lo, hi=hi, collect=True),
+        )
+        for lo, hi in windows
+    ]
+    serial_s = time.perf_counter() - started
+    identical = all(
+        fa == sa
+        and np.array_equal(fr.rows, sr.rows)
+        and np.array_equal(fr.row_ids, sr.row_ids)
+        for (fa, fr), (sa, sr) in zip(federated, serial)
+    )
+    fleet.federation.close()
+    print(render_federation_report(fleet, source=f"{args.series} series"))
+    print()
+    print(f"federated pass: {federated_s * 1e3:8.2f} ms "
+          f"({args.windows} windows, workers={args.workers})")
+    print(f"unsharded pass: {serial_s * 1e3:8.2f} ms")
+    print(f"bit-identical to single database: {'yes' if identical else 'NO'}")
+    return 0 if identical else 1
+
+
 _SUBCOMMANDS = {
     "run-all": _run_all,
     "engines": _engines,
@@ -588,6 +704,7 @@ _SUBCOMMANDS = {
     "checkpoint": _checkpoint,
     "recover": _recover,
     "shard-report": _shard_report,
+    "federated-report": _federated_report,
 }
 
 

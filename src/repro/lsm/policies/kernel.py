@@ -18,6 +18,7 @@ and byte-layout-compatible with the monolithic engines it replaced.
 
 from __future__ import annotations
 
+import itertools
 import math
 
 import numpy as np
@@ -37,6 +38,12 @@ from .flush import FlushStrategy
 from .placement import PlacementPolicy
 
 __all__ = ["StorageKernel"]
+
+#: Process-wide engine instance counter.  ``read_version`` folds it in
+#: so two *different* engine instances can never alias the same version
+#: vector — a retune/resize swaps the engine object, and any cache keyed
+#: on the old instance's version must miss, not collide.
+_ENGINE_NONCE = itertools.count()
 
 
 class StorageKernel(LsmEngine):
@@ -64,6 +71,7 @@ class StorageKernel(LsmEngine):
         self.placement = placement
         self.flush = flush
         self.compaction = compaction
+        self._engine_nonce = next(_ENGINE_NONCE)
         #: Structure epoch: bumped whenever the disk structure changes
         #: (flush/merge landing, checkpoint restore).  Snapshot and
         #: pruning-index caches key on it.
@@ -241,23 +249,37 @@ class StorageKernel(LsmEngine):
         self._index_cache = (self._structure_epoch, index)
         return index
 
-    def snapshot(self) -> Snapshot:
-        # Keyed on the structure epoch plus every MemTable's content
-        # version: any flush/merge/restore or buffered write produces a
-        # fresh key, so serving the cached Snapshot is always safe.  The
-        # arrays inside it are frozen (read-only) views, never copies.
-        # With a scheduler, detached-but-uncommitted MemTables are part
-        # of the visible state (their points are nowhere else yet), and
-        # the queue's change_seq keys the cache so submits/completions
-        # invalidate it.
+    def read_version(self) -> tuple[int, ...]:
+        """The engine's read-state version vector.
+
+        Combines the engine nonce, the structure epoch, the scheduler's
+        change sequence, and every MemTable's content version: any
+        flush/merge/restore, buffered write, scheduler transition, or
+        engine replacement yields a distinct vector.  Equal vectors
+        therefore guarantee identical visible read state — the contract
+        the snapshot cache and the federation cache both key on.
+        """
         scheduler = self.scheduler
         pending = scheduler.pending_memtables() if scheduler is not None else []
-        key = (
+        return (
+            self._engine_nonce,
             self._structure_epoch,
             scheduler.change_seq if scheduler is not None else -1,
             *(memtable.version for memtable in pending),
             *(memtable.version for memtable in self.placement.memtables()),
         )
+
+    def snapshot(self) -> Snapshot:
+        # Keyed on the read version vector: any flush/merge/restore or
+        # buffered write produces a fresh key, so serving the cached
+        # Snapshot is always safe.  The arrays inside it are frozen
+        # (read-only) views, never copies.  With a scheduler,
+        # detached-but-uncommitted MemTables are part of the visible
+        # state (their points are nowhere else yet), and the queue's
+        # change_seq keys the cache so submits/completions invalidate it.
+        scheduler = self.scheduler
+        pending = scheduler.pending_memtables() if scheduler is not None else []
+        key = self.read_version()
         cached = self._snapshot_cache
         if cached is not None and cached[0] == key:
             return cached[1]

@@ -35,7 +35,7 @@ from .report import (
     render_trace_report,
     summarize_trace,
 )
-from .sharding import render_shard_report
+from .sharding import render_federation_report, render_shard_report
 from .stability import (
     StabilitySummary,
     render_stability_report,
@@ -87,4 +87,5 @@ __all__ = [
     "labelled_name",
     "split_labelled",
     "render_shard_report",
+    "render_federation_report",
 ]

@@ -10,9 +10,10 @@ the aligned tables of :mod:`repro.obs.report`.
 
 from __future__ import annotations
 
+from .metrics import labelled_name
 from .report import _format_cell, _table
 
-__all__ = ["render_shard_report"]
+__all__ = ["render_shard_report", "render_federation_report"]
 
 
 def _shard_rows(fleet) -> list[list]:
@@ -101,3 +102,68 @@ def render_shard_report(fleet, source: str = "") -> str:
                 )
             )
     return "\n".join(parts)
+
+
+def render_federation_report(fleet, source: str = "") -> str:
+    """Federated read-path attribution for a fleet with telemetry on.
+
+    One row per shard out of the fleet bus registry: series owned,
+    ``query.*`` reads served, federation cache hits/misses, and the
+    ``federation.shard_latency_ms`` histogram summary (scatters, mean
+    and max milliseconds).  The header rolls up the fleet-level
+    counters — federated queries, single-shard fast-path hits, shards
+    pruned by routing, and scatter-pool (re)builds.
+    """
+    registry = fleet.telemetry.registry
+    title = "== federation report"
+    if source:
+        title += f": {source}"
+    queries = registry.counter("federation.queries").value
+    single = registry.counter("federation.single_shard").value
+    pruned = registry.counter("federation.shards_pruned").value
+    pools = registry.counter("federation.pool_builds").value
+    hits = registry.shard_values("federation.cache_hits")
+    misses = registry.shard_values("federation.cache_misses")
+    reads = registry.shard_values("query.count")
+    rows = []
+    for index, db in enumerate(fleet.shards):
+        shard = db.namespace or f"shard-{index:02d}"
+        latency = registry.histogram(
+            labelled_name("federation.shard_latency_ms", shard)
+        )
+        rows.append(
+            [
+                shard,
+                len(db.series_names()),
+                int(reads.get(shard, 0)),
+                int(hits.get(shard, 0)),
+                int(misses.get(shard, 0)),
+                latency.count,
+                latency.mean,
+                latency.max if latency.count else float("nan"),
+            ]
+        )
+    return "\n".join(
+        [
+            title,
+            f"{fleet.n_shards} shards ({fleet.router.mode} routing), "
+            f"{int(queries)} federated queries "
+            f"({int(single)} single-shard fast path), "
+            f"{int(pruned)} shard fan-outs pruned, "
+            f"{int(pools)} scatter pool builds",
+            "",
+            _table(
+                [
+                    "shard",
+                    "series",
+                    "reads",
+                    "cache_hits",
+                    "cache_misses",
+                    "scatters",
+                    "lat_mean_ms",
+                    "lat_max_ms",
+                ],
+                rows,
+            ),
+        ]
+    )

@@ -28,6 +28,7 @@ from .cache import (
     code_fingerprint,
     dataset_fingerprint,
     experiment_key,
+    fleet_fingerprint,
 )
 from .experiments import ExperimentRun, run_experiments
 from .pool import Task, resolve_workers, run_tasks, task_seed
@@ -44,6 +45,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "code_fingerprint",
     "dataset_fingerprint",
+    "fleet_fingerprint",
     "experiment_key",
     "ExperimentRun",
     "run_experiments",

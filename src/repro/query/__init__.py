@@ -8,6 +8,13 @@ the seek-aware latency model behind Figures 13, 14 and 20.
 from .aggregation import AggregateResult, execute_aggregate_query
 from .executor import QueryStats, execute_range_query
 from .latency import MEMTABLE_SCAN_MS_PER_POINT, query_latency_ms
+from .merge import (
+    aggregate_over_series,
+    canonical_series_order,
+    merge_aggregates,
+    merge_range_stats,
+    scan_over_series,
+)
 from .sql import ParsedQuery, execute_sql, parse_query
 from .workloads import (
     QueryWorkloadResult,
@@ -21,6 +28,11 @@ __all__ = [
     "AggregateResult",
     "execute_aggregate_query",
     "execute_range_query",
+    "canonical_series_order",
+    "merge_aggregates",
+    "merge_range_stats",
+    "aggregate_over_series",
+    "scan_over_series",
     "query_latency_ms",
     "ParsedQuery",
     "parse_query",

@@ -1,0 +1,234 @@
+"""Exact merging of per-series query partials.
+
+Federated queries (``repro.serving.federation``) fan a multi-series
+request out across shards and must return *the same bits* as one
+unsharded database run over the same points — including the float
+``sum``, where IEEE addition is famously non-associative.  The trick is
+to never let the shard layout pick the fold order:
+
+* Partials are kept **per series**, never pre-combined per shard.
+* Both the federated path and the serial reference fold partials in the
+  same **canonical order** — sorted series names for fleet-wide
+  queries, the caller's order for an explicit list.
+* Each per-series partial comes from the existing single-series
+  executors (:func:`~repro.query.execute_range_query` /
+  :func:`~repro.query.execute_aggregate_query`), whose results depend
+  only on that series' engine state — and the serving tier's shard
+  independence invariant makes that state identical whether the series
+  lives in a shard or in a standalone database.
+
+Left-folding identical per-series partials in an identical order is the
+whole proof: ``merge_aggregates`` over shard results is bitwise equal
+to the same fold over single-database results, no matter how the router
+scattered the series.  Range rows are merged by concatenation in
+canonical order plus one stable ``argsort`` on ``t_g`` — equivalent to
+a k-way merge with input-order tie-breaking, and again identical on
+both paths because the inputs and the order are.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import QueryError
+from ..lsm.base import Snapshot
+from ..obs.telemetry import Telemetry
+from .aggregation import AggregateResult, execute_aggregate_query
+from .executor import QueryStats, execute_range_query
+
+__all__ = [
+    "SnapshotProvider",
+    "canonical_series_order",
+    "merge_aggregates",
+    "merge_range_stats",
+    "aggregate_over_series",
+    "scan_over_series",
+]
+
+
+class SnapshotProvider(Protocol):
+    """Anything that can list series and snapshot one of them.
+
+    Both :class:`~repro.lsm.database.TimeSeriesDatabase` and the
+    per-shard worker views satisfy this; the serial helpers below are
+    therefore usable as the unsharded *reference* implementation the
+    federation layer is pinned against.
+    """
+
+    def series_names(self) -> list[str]: ...
+
+    def snapshot(self, name: str) -> Snapshot: ...
+
+
+def canonical_series_order(
+    provider: SnapshotProvider,
+    names: str | Sequence[str] | None,
+) -> list[str]:
+    """The canonical fold order for a multi-series query.
+
+    ``None`` means fleet-wide: every series, sorted by name — a total
+    order no routing layout can perturb.  An explicit list keeps the
+    caller's order (duplicates rejected: folding a series twice would
+    double-count it).  A bare string is a single-series request.
+    """
+    if names is None:
+        return sorted(provider.series_names())
+    if isinstance(names, str):
+        names = [names]
+    ordered = list(names)
+    if not ordered:
+        raise QueryError("empty series list")
+    if len(set(ordered)) != len(ordered):
+        raise QueryError(f"duplicate series in query: {ordered}")
+    return ordered
+
+
+def merge_aggregates(
+    partials: Sequence[AggregateResult],
+    lo: float,
+    hi: float,
+) -> AggregateResult:
+    """Left-fold per-series aggregate partials (in the given order).
+
+    ``total`` is accumulated with plain float addition in sequence
+    order — the canonical order makes this reproducible; counts,
+    extrema and the pruning counters merge associatively.
+    """
+    count = 0
+    minimum = math.inf
+    maximum = -math.inf
+    total = 0.0
+    scanned = 0
+    pruned = 0
+    blocks_stat_answered = 0
+    blocks_skipped = 0
+    for part in partials:
+        count += part.count
+        if part.count:
+            minimum = min(minimum, part.minimum)
+            maximum = max(maximum, part.maximum)
+        total += part.total
+        scanned += part.tables_scanned
+        pruned += part.tables_pruned
+        blocks_stat_answered += part.blocks_stat_answered
+        blocks_skipped += part.blocks_skipped
+    if count == 0:
+        minimum = math.nan
+        maximum = math.nan
+    return AggregateResult(
+        lo=lo,
+        hi=hi,
+        count=count,
+        minimum=minimum,
+        maximum=maximum,
+        total=total,
+        tables_scanned=scanned,
+        tables_pruned=pruned,
+        blocks_stat_answered=blocks_stat_answered,
+        blocks_skipped=blocks_skipped,
+    )
+
+
+def merge_range_stats(
+    partials: Sequence[QueryStats],
+    lo: float,
+    hi: float,
+) -> QueryStats:
+    """Merge per-series range-query partials (in the given order).
+
+    Cost counters sum; collected rows are concatenated in fold order
+    and stably sorted on ``t_g``, so ties between series resolve by
+    canonical order — a k-way merge whose output is independent of how
+    series were grouped into shards.
+    """
+    result = 0
+    disk_read = 0
+    files = 0
+    mem_scanned = 0
+    tables_pruned = 0
+    consulted = 0
+    blocks_skipped = 0
+    collected_tg: list[np.ndarray] = []
+    collected_ids: list[np.ndarray] = []
+    collecting = any(part.rows is not None for part in partials)
+    for part in partials:
+        result += part.result_points
+        disk_read += part.disk_points_read
+        files += part.files_touched
+        mem_scanned += part.memtable_points_scanned
+        tables_pruned += part.tables_pruned
+        consulted += part.tables_consulted
+        blocks_skipped += part.blocks_skipped
+        if collecting:
+            if part.rows is None or part.row_ids is None:
+                raise QueryError("cannot merge collected and metrics-only partials")
+            collected_tg.append(part.rows)
+            collected_ids.append(part.row_ids)
+    rows = None
+    row_ids = None
+    if collecting:
+        if collected_tg:
+            tg_all = np.concatenate(collected_tg)
+            ids_all = np.concatenate(collected_ids)
+            order = np.argsort(tg_all, kind="stable")
+            rows = tg_all[order]
+            row_ids = ids_all[order]
+        else:
+            rows = np.empty(0, dtype=np.float64)
+            row_ids = np.empty(0, dtype=np.int64)
+    return QueryStats(
+        lo=lo,
+        hi=hi,
+        result_points=result,
+        disk_points_read=disk_read,
+        files_touched=files,
+        memtable_points_scanned=mem_scanned,
+        tables_pruned=tables_pruned,
+        tables_consulted=consulted,
+        blocks_skipped=blocks_skipped,
+        rows=rows,
+        row_ids=row_ids,
+    )
+
+
+def aggregate_over_series(
+    provider: SnapshotProvider,
+    names: str | Sequence[str] | None = None,
+    lo: float = -math.inf,
+    hi: float = math.inf,
+    telemetry: Telemetry | None = None,
+) -> AggregateResult:
+    """Serial multi-series aggregate: the unsharded reference answer.
+
+    Folds :func:`execute_aggregate_query` partials in canonical order.
+    The federation layer is pinned bitwise against this function.
+    """
+    ordered = canonical_series_order(provider, names)
+    partials = [
+        execute_aggregate_query(provider.snapshot(name), lo, hi, telemetry=telemetry)
+        for name in ordered
+    ]
+    return merge_aggregates(partials, lo, hi)
+
+
+def scan_over_series(
+    provider: SnapshotProvider,
+    names: str | Sequence[str] | None = None,
+    lo: float = -math.inf,
+    hi: float = math.inf,
+    collect: bool = False,
+    telemetry: Telemetry | None = None,
+) -> QueryStats:
+    """Serial multi-series range scan: the unsharded reference answer."""
+    ordered = canonical_series_order(provider, names)
+    partials = [
+        execute_range_query(
+            provider.snapshot(name), lo, hi, collect=collect, telemetry=telemetry
+        )
+        for name in ordered
+    ]
+    return merge_range_stats(partials, lo, hi)

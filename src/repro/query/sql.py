@@ -6,24 +6,29 @@ The paper writes its query workloads as SQL::
     SELECT * FROM TS WHERE time > rand_value AND time < rand_value + window
 
 This module parses that dialect — ``SELECT`` of ``*`` or a single
-aggregate over one series, with conjunctive ``time`` bounds — and
-executes it against an engine snapshot, so examples and downstream users
-can drive the query layer with the paper's own statements.
+aggregate, with conjunctive ``time`` bounds — and executes it against
+an engine snapshot, a :class:`~repro.lsm.database.TimeSeriesDatabase`,
+or a federated :class:`~repro.serving.ShardedDatabase`, so examples and
+downstream users can drive the query layer with the paper's own
+statements.
 
 Grammar (case-insensitive keywords)::
 
-    SELECT (* | COUNT(*) | MIN(time) | MAX(time) | AVG(time))
-    FROM <identifier>
+    SELECT (* | COUNT(*) | MIN(time) | MAX(time) | AVG(time) | SUM(time))
+    FROM (<identifier>[, <identifier>...] | *)
     [WHERE time <op> <number> [AND time <op> <number>]]
 
-with ``<op>`` one of ``>``, ``>=``, ``<``, ``<=``.
+with ``<op>`` one of ``>``, ``>=``, ``<``, ``<=``.  ``FROM a, b``
+queries several series and ``FROM *`` queries every registered series —
+both need a database target (a bare snapshot has no series catalogue);
+against a ``ShardedDatabase`` they run through the federation layer.
 """
 
 from __future__ import annotations
 
 import math
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import QueryError
 from ..lsm.base import Snapshot
@@ -32,10 +37,13 @@ from .executor import execute_range_query
 
 __all__ = ["ParsedQuery", "parse_query", "execute_sql"]
 
+_IDENT = r"[a-z_][a-z0-9_.-]*"
+
 _QUERY_RE = re.compile(
-    r"""
-    ^\s*select\s+(?P<select>\*|count\(\*\)|min\(time\)|max\(time\)|avg\(time\))
-    \s+from\s+(?P<series>[a-z_][a-z0-9_.-]*)
+    rf"""
+    ^\s*select\s+
+    (?P<select>\*|count\(\*\)|min\(time\)|max\(time\)|avg\(time\)|sum\(time\))
+    \s+from\s+(?P<series>\*|{_IDENT}(?:\s*,\s*{_IDENT})*)
     (?:\s+where\s+(?P<where>.+?))?\s*;?\s*$
     """,
     re.IGNORECASE | re.VERBOSE,
@@ -56,11 +64,14 @@ _STRICT_EPS = 1e-9
 class ParsedQuery:
     """A validated time-range query."""
 
-    #: ``"*"``, ``"count"``, ``"min"``, ``"max"`` or ``"avg"``.
+    #: ``"*"``, ``"count"``, ``"min"``, ``"max"``, ``"avg"`` or ``"sum"``.
     select: str
+    #: First named series, or ``"*"`` for a fleet-wide query.
     series: str
     lo: float
     hi: float
+    #: Every named series, in statement order (empty for ``FROM *``).
+    names: tuple[str, ...] = field(default=())
 
 
 def parse_query(sql: str) -> ParsedQuery:
@@ -69,14 +80,10 @@ def parse_query(sql: str) -> ParsedQuery:
     if match is None:
         raise QueryError(f"cannot parse query: {sql!r}")
     select = match.group("select").lower()
-    if select.startswith("count"):
-        select = "count"
-    elif select.startswith("min"):
-        select = "min"
-    elif select.startswith("max"):
-        select = "max"
-    elif select.startswith("avg"):
-        select = "avg"
+    for kind in ("count", "min", "max", "avg", "sum"):
+        if select.startswith(kind):
+            select = kind
+            break
     lo, hi = -math.inf, math.inf
     where = match.group("where")
     if where is not None:
@@ -106,28 +113,73 @@ def parse_query(sql: str) -> ParsedQuery:
                 hi = min(hi, value)
     if hi < lo:
         raise QueryError(f"contradictory time bounds in: {sql!r}")
-    return ParsedQuery(
-        select=select, series=match.group("series"), lo=lo, hi=hi
-    )
+    raw = match.group("series")
+    if raw == "*":
+        names: tuple[str, ...] = ()
+        first = "*"
+    else:
+        names = tuple(part.strip() for part in raw.split(","))
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate series in FROM clause: {raw!r}")
+        first = names[0]
+    return ParsedQuery(select=select, series=first, lo=lo, hi=hi, names=names)
 
 
-def execute_sql(snapshot: Snapshot, sql: str, collect: bool = False):
-    """Parse and run ``sql`` against a snapshot.
+def _aggregate_scalar(result, select: str):
+    """Pull the selected scalar out of an aggregate result."""
+    if select == "count":
+        return result.count
+    if select == "min":
+        return result.minimum
+    if select == "max":
+        return result.maximum
+    if select == "sum":
+        return result.total
+    return result.mean
+
+
+def execute_sql(target, sql: str, collect: bool = False, workers: int | None = None):
+    """Parse and run ``sql`` against ``target``.
+
+    ``target`` is a bare engine :class:`~repro.lsm.base.Snapshot`
+    (single-series statements only — there is no catalogue to resolve
+    ``FROM a, b`` or ``FROM *`` against), a
+    :class:`~repro.lsm.database.TimeSeriesDatabase` (multi-series
+    statements fold serially in canonical order), or a
+    :class:`~repro.serving.ShardedDatabase` (statements run through the
+    federation layer; ``workers`` sets the scatter width).
 
     ``SELECT *`` returns :class:`~repro.query.QueryStats` (pass
     ``collect=True`` for the rows); aggregates return the scalar value.
-    Unbounded sides of the range are clamped to the snapshot extent.
+    The answer is the same bits whichever target holds the points.
     """
     parsed = parse_query(sql)
     lo = parsed.lo
     hi = parsed.hi
+    if isinstance(target, Snapshot):
+        if parsed.series == "*" or len(parsed.names) != 1:
+            raise QueryError(
+                "multi-series SELECT needs a database target, not a snapshot"
+            )
+        if parsed.select == "*":
+            return execute_range_query(target, lo, hi, collect=collect)
+        return _aggregate_scalar(
+            execute_aggregate_query(target, lo, hi), parsed.select
+        )
+    names = None if parsed.series == "*" else list(parsed.names)
+    # Imported here: the serving tier sits above the query layer.
+    from ..serving.database import ShardedDatabase
+
+    if isinstance(target, ShardedDatabase):
+        if parsed.select == "*":
+            return target.query_range(names, lo, hi, collect=collect, workers=workers)
+        return _aggregate_scalar(
+            target.query_aggregate(names, lo, hi, workers=workers), parsed.select
+        )
+    from .merge import aggregate_over_series, scan_over_series
+
     if parsed.select == "*":
-        return execute_range_query(snapshot, lo, hi, collect=collect)
-    result = execute_aggregate_query(snapshot, lo, hi)
-    if parsed.select == "count":
-        return result.count
-    if parsed.select == "min":
-        return result.minimum
-    if parsed.select == "max":
-        return result.maximum
-    return result.mean
+        return scan_over_series(target, names, lo, hi, collect=collect)
+    return _aggregate_scalar(
+        aggregate_over_series(target, names, lo, hi), parsed.select
+    )

@@ -23,6 +23,7 @@ and roll-up reporting on top; it never reaches into a shard's engines.
 from __future__ import annotations
 
 import json
+import math
 import os
 
 import numpy as np
@@ -445,6 +446,58 @@ class ShardedDatabase:
     def snapshot(self, name: str):
         """Read view of one series (routed to its shard)."""
         return self.database_for(name).snapshot(name)
+
+    @property
+    def federation(self):
+        """The fleet's :class:`~repro.serving.federation.FederatedExecutor`.
+
+        Built lazily (and after :meth:`recover`, which bypasses
+        ``__init__``); holds the federation cache and the warm scatter
+        pool for every :meth:`query_range`/:meth:`query_aggregate` call.
+        """
+        executor = self.__dict__.get("_federation")
+        if executor is None:
+            from .federation import FederatedExecutor
+
+            executor = FederatedExecutor(self)
+            self._federation = executor
+        return executor
+
+    def query_range(
+        self,
+        names=None,
+        lo: float = -math.inf,
+        hi: float = math.inf,
+        collect: bool = False,
+        workers: int | None = None,
+        use_cache: bool = True,
+    ):
+        """Federated range scan over ``names`` (all series when None).
+
+        Single-series requests run inline on the owning shard only; the
+        rest scatter-gather (``workers > 1``) or run serially inline.
+        Bitwise equal to the same scan on one unsharded database.
+        """
+        return self.federation.query_range(
+            names, lo, hi, collect=collect, workers=workers, use_cache=use_cache
+        )
+
+    def query_aggregate(
+        self,
+        names=None,
+        lo: float = -math.inf,
+        hi: float = math.inf,
+        workers: int | None = None,
+        use_cache: bool = True,
+    ):
+        """Federated aggregate over ``names`` (all series when None).
+
+        Fleet-wide COUNT/MIN/MAX/SUM/AVG, bitwise equal — float ``sum``
+        included — to one unsharded database over the same points.
+        """
+        return self.federation.query_aggregate(
+            names, lo, hi, workers=workers, use_cache=use_cache
+        )
 
     def shard_reports(self):
         """Per-shard :class:`~repro.lsm.database.FleetReport` list."""

@@ -1,0 +1,590 @@
+"""Tests for cross-shard query federation.
+
+The load-bearing property is *exactness*: a federated range/aggregate
+query over a sharded fleet must return the same bits — float ``sum``
+included — as the same query over one unsharded
+:class:`~repro.lsm.database.TimeSeriesDatabase` holding the same
+points.  The matrix below pins it across three engine policy triples,
+both router modes, row and columnar tiers, and three ingest stages.
+On top of exactness: the single-series fast path (zero reads on other
+shards), the epoch-keyed federation cache (per-shard invalidation),
+the warm scatter pool, the multi-series SQL front-end, and the
+fleet-aware experiment cache keys.
+"""
+
+import math
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.distributions import ExponentialDelay, UniformDelay
+from repro.errors import EngineError, QueryError
+from repro.lsm.database import TimeSeriesDatabase
+from repro.obs.sharding import render_federation_report
+from repro.obs.telemetry import Telemetry
+from repro.parallel.cache import experiment_key, fleet_fingerprint
+from repro.query.aggregation import AggregateResult, execute_aggregate_query
+from repro.query.executor import execute_range_query
+from repro.query.merge import (
+    aggregate_over_series,
+    canonical_series_order,
+    merge_aggregates,
+    merge_range_stats,
+    scan_over_series,
+)
+from repro.query.sql import execute_sql, parse_query
+from repro.serving import FederationCache, ShardRouter, ShardedDatabase, shard_name
+from repro.workloads import generate_synthetic
+
+_DB_KWARGS = dict(memory_budget_per_series=64, sstable_size=32)
+
+_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _datasets(names, n_points=900, disordered=True, base_seed=23):
+    delay = (
+        ExponentialDelay(mean=40.0) if disordered else UniformDelay(0.0, 0.5)
+    )
+    return {
+        name: generate_synthetic(
+            n_points, dt=1.0, delay=delay, seed=base_seed + index, name=name
+        )
+        for index, name in enumerate(names)
+    }
+
+
+def _rounds(datasets, chunk=300, with_ta=False):
+    n_points = len(next(iter(datasets.values())).tg)
+    rounds = []
+    for pos in range(0, n_points, chunk):
+        region = slice(pos, pos + chunk)
+        rounds.append(
+            [
+                (name, ds.tg[region], ds.ta[region])
+                if with_ta
+                else (name, ds.tg[region])
+                for name, ds in datasets.items()
+            ]
+        )
+    return rounds
+
+
+def _build_pair(mode, router, names, datasets, telemetry=None):
+    """A fleet and an unsharded reference fed identical sub-streams."""
+    auto_tune = mode == "tuned"
+    fleet = ShardedDatabase(
+        router=router, auto_tune=auto_tune, telemetry=telemetry, **_DB_KWARGS
+    )
+    reference = TimeSeriesDatabase(auto_tune=auto_tune, **_DB_KWARGS)
+    if mode == "pi_s":
+        for name in names:
+            fleet.database_for(name).create_series(name, seq_capacity=16)
+            reference.create_series(name, seq_capacity=16)
+    return fleet, reference
+
+
+def _feed(fleet, reference, rounds, mode):
+    """Yield (stage, ...) checkpoints while both sides ingest lock-step."""
+    retune_at = len(rounds) // 2
+    for rnd, batch in enumerate(rounds):
+        fleet.ingest_batch(batch, sync=False)
+        for entry in batch:
+            reference.write(entry[0], entry[1], *entry[2:])
+        if mode == "tuned" and rnd + 1 == retune_at:
+            fleet.retune(min_observations=256)
+            reference.retune(min_observations=256)
+        if rnd + 1 == retune_at:
+            yield "mid-ingest"
+    yield "pre-flush"
+    fleet.flush_all()
+    reference.flush_all()
+    yield "post-flush"
+
+
+def _windows(datasets):
+    tg_all = np.concatenate([ds.tg for ds in datasets.values()])
+    lo, hi = float(tg_all.min()), float(tg_all.max())
+    span = hi - lo
+    return [
+        (-math.inf, math.inf),
+        (lo + 0.2 * span, lo + 0.7 * span),
+        (lo + 0.55 * span, hi + 1.0),
+    ]
+
+
+def _assert_range_equal(fed, ref):
+    assert fed.result_points == ref.result_points
+    assert fed.disk_points_read == ref.disk_points_read
+    assert fed.files_touched == ref.files_touched
+    assert fed.memtable_points_scanned == ref.memtable_points_scanned
+    assert fed.tables_pruned == ref.tables_pruned
+    assert fed.tables_consulted == ref.tables_consulted
+    assert fed.blocks_skipped == ref.blocks_skipped
+    if ref.rows is None:
+        assert fed.rows is None
+    else:
+        assert np.array_equal(fed.rows, ref.rows)
+        assert np.array_equal(fed.row_ids, ref.row_ids)
+
+
+class TestFederatedEquality:
+    """Federated == unsharded, bitwise, across the whole matrix."""
+
+    MODES = ("pi_c", "pi_s", "tuned")
+
+    def _router(self, routing, n_shards=3):
+        if routing == "hash":
+            return ShardRouter(n_shards)
+        return ShardRouter(
+            n_shards, mode="range", boundaries=["series-02", "series-04"]
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("routing", ("hash", "range"))
+    @pytest.mark.parametrize("tier", ("row", "columnar"))
+    def test_matches_unsharded_database(self, mode, routing, tier):
+        names = [f"series-{i:02d}" for i in range(6)]
+        datasets = _datasets(names)
+        rounds = _rounds(datasets, with_ta=(mode == "tuned"))
+        router = self._router(routing)
+        fleet, reference = _build_pair(mode, router, names, datasets)
+        windows = _windows(datasets)
+        subset = [names[4], names[0], names[3]]  # explicit caller order
+        stages = []
+        for stage in _feed(fleet, reference, rounds, mode):
+            stages.append(stage)
+            if tier == "columnar" and stage == "post-flush":
+                for db in [reference, *fleet.shards]:
+                    for name in db.series_names():
+                        db.series(name).engine.convert_cold()
+            for lo, hi in windows:
+                fed_agg = fleet.query_aggregate(lo=lo, hi=hi)
+                ref_agg = aggregate_over_series(reference, lo=lo, hi=hi)
+                assert fed_agg == ref_agg, (stage, lo, hi)
+                assert isinstance(fed_agg, AggregateResult)
+                fed_sub = fleet.query_aggregate(subset, lo=lo, hi=hi)
+                ref_sub = aggregate_over_series(reference, subset, lo=lo, hi=hi)
+                assert fed_sub == ref_sub, (stage, lo, hi)
+                _assert_range_equal(
+                    fleet.query_range(lo=lo, hi=hi, collect=True),
+                    scan_over_series(reference, lo=lo, hi=hi, collect=True),
+                )
+            if tier == "columnar" and stage == "post-flush":
+                # The cold tier actually answered from block statistics.
+                full = fleet.query_aggregate()
+                assert full.blocks_stat_answered > 0
+        assert stages == ["mid-ingest", "pre-flush", "post-flush"]
+
+    def test_unknown_series_raises(self):
+        fleet = ShardedDatabase(n_shards=2, **_DB_KWARGS)
+        with pytest.raises(EngineError):
+            fleet.query_aggregate(["ghost"])
+
+    def test_duplicate_series_rejected(self):
+        fleet = ShardedDatabase(n_shards=2, **_DB_KWARGS)
+        fleet.write("a", np.array([1.0, 2.0]))
+        with pytest.raises(QueryError):
+            fleet.query_range(["a", "a"])
+
+
+class TestSingleSeriesFastPath:
+    def test_only_owner_shard_reads(self):
+        telemetry = Telemetry(sinks=[])
+        fleet = ShardedDatabase(n_shards=4, telemetry=telemetry, **_DB_KWARGS)
+        names = [f"s{i:02d}" for i in range(8)]
+        datasets = _datasets(names, n_points=300)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+        target = names[0]
+        owner = shard_name(fleet.shard_of(target))
+        stats = fleet.query_range(target, collect=True)
+        direct = execute_range_query(
+            fleet.snapshot(target), -math.inf, math.inf, collect=True
+        )
+        _assert_range_equal(stats, direct)
+        reads = telemetry.registry.shard_values("query.count")
+        assert reads.get(owner) == 1
+        assert all(
+            count == 0 for shard, count in reads.items() if shard != owner
+        )
+        registry = telemetry.registry
+        assert registry.counter("federation.single_shard").value == 1
+        assert registry.counter("federation.shards_pruned").value == 3
+
+    def test_aggregate_fast_path_prunes_other_shards(self):
+        telemetry = Telemetry(sinks=[])
+        fleet = ShardedDatabase(n_shards=4, telemetry=telemetry, **_DB_KWARGS)
+        names = [f"s{i:02d}" for i in range(8)]
+        datasets = _datasets(names, n_points=300)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+        target = names[3]
+        owner = shard_name(fleet.shard_of(target))
+        result = fleet.query_aggregate(target)
+        direct = execute_aggregate_query(
+            fleet.snapshot(target), -math.inf, math.inf
+        )
+        assert result == direct
+        aggregates = telemetry.registry.shard_values("query.aggregate_count")
+        assert aggregates.get(owner) == 1
+        assert all(
+            count == 0 for shard, count in aggregates.items() if shard != owner
+        )
+
+
+class TestFederationCache:
+    def _loaded_fleet(self, n_shards=4):
+        telemetry = Telemetry(sinks=[])
+        fleet = ShardedDatabase(
+            n_shards=n_shards, telemetry=telemetry, **_DB_KWARGS
+        )
+        # Pick series names until every shard owns at least two, so no
+        # cache row is vacuous.
+        names = []
+        owned = {index: 0 for index in range(n_shards)}
+        for i in range(200):
+            candidate = f"s{i:03d}"
+            index = fleet.shard_of(candidate)
+            if owned[index] < 2:
+                owned[index] += 1
+                names.append(candidate)
+            if all(count == 2 for count in owned.values()):
+                break
+        assert all(count == 2 for count in owned.values())
+        datasets = _datasets(names, n_points=300)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+        return fleet, telemetry, names, datasets
+
+    def test_flush_invalidates_only_that_shard(self):
+        fleet, telemetry, names, _ = self._loaded_fleet()
+        registry = telemetry.registry
+        first = fleet.query_aggregate()
+        second = fleet.query_aggregate()
+        assert second == first
+        hits = registry.shard_values("federation.cache_hits")
+        assert hits == {shard_name(i): 1 for i in range(fleet.n_shards)}
+        victim = 1
+        fleet.shards[victim].flush_all()
+        third = fleet.query_aggregate()
+        # A flush changes scan metadata (tables pruned/scanned) but can
+        # never change the answer itself.
+        assert (third.count, third.minimum, third.maximum, third.total) == (
+            first.count, first.minimum, first.maximum, first.total
+        )
+        hits = registry.shard_values("federation.cache_hits")
+        for index in range(fleet.n_shards):
+            expected = 1 if index == victim else 2
+            assert hits[shard_name(index)] == expected, shard_name(index)
+        misses = registry.shard_values("federation.cache_misses")
+        assert misses[shard_name(victim)] == 2
+
+    def test_write_invalidates_owner_entry(self):
+        fleet, telemetry, names, datasets = self._loaded_fleet()
+        fleet.query_aggregate()
+        target = names[0]
+        owner = fleet.shard_of(target)
+        fleet.write(target, datasets[target].tg[:50] + 1000.0)
+        fleet.query_aggregate()
+        hits = telemetry.registry.shard_values("federation.cache_hits")
+        assert hits.get(shard_name(owner), 0) == 0
+        assert all(
+            hits[shard_name(i)] == 1
+            for i in range(fleet.n_shards)
+            if i != owner
+        )
+
+    def test_use_cache_false_bypasses(self):
+        fleet, telemetry, _, _ = self._loaded_fleet(n_shards=2)
+        baseline = fleet.query_aggregate(use_cache=False)
+        again = fleet.query_aggregate(use_cache=False)
+        assert again == baseline
+        assert telemetry.registry.shard_values("federation.cache_hits") == {}
+
+    def test_cache_is_bounded_lru(self):
+        cache = FederationCache(max_entries=2)
+        for index in range(4):
+            cache.store(("k", index), (0,), [index])
+        assert len(cache) == 2
+        assert cache.lookup(("k", 3), (0,)) == [3]
+        assert cache.lookup(("k", 0), (0,)) is None
+        assert cache.lookup(("k", 3), (1,)) is None  # stale version
+        with pytest.raises(ValueError):
+            FederationCache(max_entries=0)
+
+    def test_retune_engine_swap_invalidates(self):
+        # A retune replaces the engine object; a fresh engine's epoch
+        # and MemTable versions restart at zero, so only the nonce in
+        # read_version keeps the old entry from aliasing the new state.
+        telemetry = Telemetry(sinks=[])
+        fleet = ShardedDatabase(
+            n_shards=2, auto_tune=True, telemetry=telemetry, **_DB_KWARGS
+        )
+        names = [f"s{i:02d}" for i in range(4)]
+        datasets = _datasets(names, n_points=600)
+        for name in names:
+            fleet.write(name, datasets[name].tg, datasets[name].ta)
+        before = fleet.query_aggregate()
+        switched = fleet.retune(min_observations=256)
+        assert switched  # the disordered series must actually switch
+        after = fleet.query_aggregate()
+        assert (after.count, after.minimum, after.maximum, after.total) == (
+            before.count, before.minimum, before.maximum, before.total
+        )
+        hits = telemetry.registry.shard_values("federation.cache_hits")
+        assert hits == {}  # every shard retuned => no entry survived
+
+
+@pytest.mark.skipif(not _FORK, reason="scatter pool needs fork")
+class TestScatterPool:
+    def _loaded(self, telemetry):
+        fleet = ShardedDatabase(n_shards=4, telemetry=telemetry, **_DB_KWARGS)
+        names = [f"s{i:02d}" for i in range(8)]
+        datasets = _datasets(names, n_points=400)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+        return fleet, names, datasets
+
+    def test_scatter_equals_serial_inline(self):
+        serial_bus = Telemetry(sinks=[])
+        scatter_bus = Telemetry(sinks=[])
+        serial_fleet, names, datasets = self._loaded(serial_bus)
+        scatter_fleet, _, _ = self._loaded(scatter_bus)
+        try:
+            for lo, hi in [(-math.inf, math.inf), (100.0, 500.0)]:
+                assert scatter_fleet.query_aggregate(
+                    lo=lo, hi=hi, workers=4, use_cache=False
+                ) == serial_fleet.query_aggregate(
+                    lo=lo, hi=hi, workers=1, use_cache=False
+                )
+                _assert_range_equal(
+                    scatter_fleet.query_range(
+                        lo=lo, hi=hi, collect=True, workers=4, use_cache=False
+                    ),
+                    serial_fleet.query_range(
+                        lo=lo, hi=hi, collect=True, workers=1, use_cache=False
+                    ),
+                )
+            # Worker telemetry is absorbed: per-shard read counters are
+            # indistinguishable from the serial path's.
+            assert scatter_bus.registry.shard_values(
+                "query.count"
+            ) == serial_bus.registry.shard_values("query.count")
+            assert scatter_bus.registry.shard_values(
+                "query.result_points"
+            ) == serial_bus.registry.shard_values("query.result_points")
+            for index in range(4):
+                latency = scatter_bus.registry.histogram(
+                    f'federation.shard_latency_ms{{shard="{shard_name(index)}"}}'
+                )
+                assert latency.count == 4
+        finally:
+            serial_fleet.federation.close()
+            scatter_fleet.federation.close()
+
+    def test_pool_reused_until_state_changes(self):
+        telemetry = Telemetry(sinks=[])
+        fleet, names, datasets = self._loaded(telemetry)
+        registry = telemetry.registry
+        try:
+            fleet.query_aggregate(workers=4, use_cache=False)
+            fleet.query_range(workers=4, use_cache=False)
+            assert registry.counter("federation.pool_builds").value == 1
+            fleet.write(names[0], datasets[names[0]].tg[:10] + 10_000.0)
+            fleet.query_aggregate(workers=4, use_cache=False)
+            assert registry.counter("federation.pool_builds").value == 2
+        finally:
+            fleet.federation.close()
+
+    def test_recovered_fleet_federates(self, tmp_path):
+        fleet = ShardedDatabase(
+            n_shards=3, durability_dir=str(tmp_path), **_DB_KWARGS
+        )
+        names = [f"s{i:02d}" for i in range(6)]
+        datasets = _datasets(names, n_points=300)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+        expected = fleet.query_aggregate(use_cache=False)
+        fleet.checkpoint_all()
+        revived = ShardedDatabase.recover(str(tmp_path))
+        try:
+            assert revived.query_aggregate(workers=3) == expected
+        finally:
+            revived.federation.close()
+
+
+class TestSqlFederation:
+    def test_parse_multi_series_and_star(self):
+        parsed = parse_query("SELECT SUM(time) FROM a, b , c WHERE time >= 5")
+        assert parsed.select == "sum"
+        assert parsed.names == ("a", "b", "c")
+        assert parsed.series == "a"
+        star = parse_query("SELECT COUNT(*) FROM *")
+        assert star.series == "*"
+        assert star.names == ()
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM a, a")
+
+    def test_snapshot_target_rejects_multi_series(self):
+        db = TimeSeriesDatabase(**_DB_KWARGS)
+        db.write("a", np.arange(10.0))
+        snapshot = db.snapshot("a")
+        assert execute_sql(snapshot, "SELECT COUNT(*) FROM a") == 10
+        with pytest.raises(QueryError):
+            execute_sql(snapshot, "SELECT COUNT(*) FROM a, b")
+        with pytest.raises(QueryError):
+            execute_sql(snapshot, "SELECT COUNT(*) FROM *")
+
+    def test_sharded_and_unsharded_sql_agree(self):
+        names = [f"series-{i:02d}" for i in range(6)]
+        datasets = _datasets(names, n_points=600)
+        fleet = ShardedDatabase(n_shards=3, auto_tune=False, **_DB_KWARGS)
+        reference = TimeSeriesDatabase(auto_tune=False, **_DB_KWARGS)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+            reference.write(name, datasets[name].tg)
+        statements = [
+            "SELECT COUNT(*) FROM *",
+            "SELECT SUM(time) FROM * WHERE time > 100",
+            "SELECT AVG(time) FROM series-00, series-03 WHERE time <= 400",
+            "SELECT MIN(time) FROM series-05",
+            "SELECT MAX(time) FROM * WHERE time >= 50 AND time < 800",
+        ]
+        for sql in statements:
+            assert execute_sql(fleet, sql) == execute_sql(reference, sql), sql
+        fed = execute_sql(fleet, "SELECT * FROM *", collect=True)
+        ref = execute_sql(reference, "SELECT * FROM *", collect=True)
+        _assert_range_equal(fed, ref)
+
+    def test_sum_is_bitwise_float_sum(self):
+        db = TimeSeriesDatabase(auto_tune=False, **_DB_KWARGS)
+        rng = np.random.default_rng(3)
+        values = {}
+        for name in ("a", "b"):
+            tg = np.sort(rng.uniform(0.0, 1.0, 500))
+            db.write(name, tg)
+            values[name] = tg
+        expected = 0.0
+        for name in sorted(values):
+            expected += float(
+                execute_aggregate_query(
+                    db.snapshot(name), -math.inf, math.inf
+                ).total
+            )
+        assert execute_sql(db, "SELECT SUM(time) FROM *") == expected
+
+
+class TestMergeUnits:
+    def test_merge_aggregates_empty(self):
+        merged = merge_aggregates([], 0.0, 1.0)
+        assert merged.count == 0
+        assert math.isnan(merged.minimum) and math.isnan(merged.maximum)
+        assert merged.total == 0.0
+
+    def test_merge_skips_empty_partial_extrema(self):
+        empty = AggregateResult(
+            lo=0.0, hi=1.0, count=0, minimum=math.nan, maximum=math.nan,
+            total=0.0, tables_scanned=0, tables_pruned=0,
+        )
+        full = AggregateResult(
+            lo=0.0, hi=1.0, count=3, minimum=0.25, maximum=0.75,
+            total=1.5, tables_scanned=1, tables_pruned=2,
+        )
+        merged = merge_aggregates([empty, full, empty], 0.0, 1.0)
+        assert merged.count == 3
+        assert merged.minimum == 0.25 and merged.maximum == 0.75
+        assert merged.tables_pruned == 2
+
+    def test_merge_range_rejects_mixed_collection(self):
+        db = TimeSeriesDatabase(**_DB_KWARGS)
+        db.write("a", np.arange(10.0))
+        snapshot = db.snapshot("a")
+        collected = execute_range_query(snapshot, 0.0, 9.0, collect=True)
+        metrics = execute_range_query(snapshot, 0.0, 9.0, collect=False)
+        with pytest.raises(QueryError):
+            merge_range_stats([collected, metrics], 0.0, 9.0)
+
+    def test_canonical_order(self):
+        db = TimeSeriesDatabase(**_DB_KWARGS)
+        for name in ("c", "a", "b"):
+            db.write(name, np.arange(4.0))
+        assert canonical_series_order(db, None) == ["a", "b", "c"]
+        assert canonical_series_order(db, "b") == ["b"]
+        assert canonical_series_order(db, ["c", "a"]) == ["c", "a"]
+        with pytest.raises(QueryError):
+            canonical_series_order(db, [])
+
+
+class TestFleetCacheKeys:
+    def test_fleet_changes_experiment_key(self):
+        base = experiment_key("exp", code="c", datasets="d")
+        sharded = experiment_key(
+            "exp", code="c", datasets="d",
+            fleet=fleet_fingerprint(ShardRouter(4)),
+        )
+        assert base != sharded
+        other_mode = experiment_key(
+            "exp", code="c", datasets="d",
+            fleet=fleet_fingerprint(
+                ShardRouter(4, mode="range", boundaries=["b", "g", "p"])
+            ),
+        )
+        assert other_mode != sharded
+
+    def test_single_database_is_canonical_one_shard_fleet(self):
+        implicit = experiment_key("exp", code="c", datasets="d")
+        explicit = experiment_key(
+            "exp", code="c", datasets="d", fleet=fleet_fingerprint(None)
+        )
+        one_shard = experiment_key(
+            "exp", code="c", datasets="d",
+            fleet=fleet_fingerprint(ShardRouter(1)),
+        )
+        assert implicit == explicit == one_shard
+
+    def test_range_boundaries_distinguish_keys(self):
+        a = fleet_fingerprint(
+            ShardRouter(3, mode="range", boundaries=["g", "p"])
+        )
+        b = fleet_fingerprint(
+            ShardRouter(3, mode="range", boundaries=["h", "p"])
+        )
+        assert a != b
+
+
+class TestFederationReport:
+    def test_render_contains_attribution(self):
+        telemetry = Telemetry(sinks=[])
+        fleet = ShardedDatabase(n_shards=3, telemetry=telemetry, **_DB_KWARGS)
+        names = [f"s{i:02d}" for i in range(6)]
+        datasets = _datasets(names, n_points=200)
+        for name in names:
+            fleet.write(name, datasets[name].tg)
+        fleet.query_aggregate()
+        fleet.query_aggregate()
+        fleet.query_range(names[0])
+        text = render_federation_report(fleet, source="unit")
+        assert "== federation report: unit" in text
+        assert "3 federated queries (1 single-shard fast path)" in text
+        for index in range(3):
+            assert shard_name(index) in text
+        assert "cache_hits" in text and "lat_mean_ms" in text
+
+    def test_cli_subcommand_verifies_bitwise(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "federated-report",
+                "--shards", "3",
+                "--series", "4",
+                "--points", "400",
+                "--windows", "3",
+                "--workers", "1",
+                "--seed", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical to single database: yes" in out
